@@ -1,0 +1,130 @@
+// Command incastsim runs one simulated inter-datacenter incast experiment
+// and prints its completion time and telemetry.
+//
+// Usage:
+//
+//	incastsim -scheme streamlined -degree 8 -size 100MB -runs 5
+//	incastsim -scheme baseline -degree 4 -size 40MB -inter-latency 10ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	incastproxy "incastproxy"
+	"incastproxy/internal/cliutil"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/topo"
+	"incastproxy/internal/trace"
+	"incastproxy/internal/units"
+)
+
+func main() {
+	var (
+		schemeFlag  = flag.String("scheme", "all", "baseline | naive | streamlined | all")
+		degree      = flag.Int("degree", 4, "number of incast senders")
+		sizeFlag    = flag.String("size", "100MB", "total incast size (e.g. 40MB, 1GB)")
+		runs        = flag.Int("runs", 5, "independent runs (avg/min/max reported)")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		interLatRaw = flag.String("inter-latency", "1ms", "long-haul link propagation delay")
+		noEarly     = flag.Bool("no-early-feedback", false, "streamlined ablation: relay trimmed headers instead of NACKing")
+		iwScale     = flag.Float64("iw-scale", 1.0, "initial window as a multiple of 1 BDP")
+		traceCSV    = flag.String("trace", "", "write receiver/proxy down-ToR queue time series to this CSV file")
+	)
+	flag.Parse()
+
+	size, err := cliutil.ParseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	interLat, err := cliutil.ParseDuration(*interLatRaw)
+	if err != nil {
+		fatal(err)
+	}
+	topoCfg := incastproxy.DefaultTopo()
+	topoCfg.InterDelay = interLat
+
+	schemes, err := parseSchemes(*schemeFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var recorders []*trace.Recorder
+	var baseline incastproxy.Duration
+	for _, s := range schemes {
+		spec := incastproxy.IncastSpec{
+			Scheme:          s,
+			Degree:          *degree,
+			TotalBytes:      size,
+			Runs:            *runs,
+			Seed:            *seed,
+			Topo:            topoCfg,
+			NoEarlyFeedback: *noEarly,
+			IWScale:         *iwScale,
+		}
+		if *traceCSV != "" {
+			scheme := s
+			spec.Runs = 1 // one trace per scheme
+			spec.OnBuild = func(net *topo.Network, e *sim.Engine) {
+				r := trace.New(units.Duration(100*units.Microsecond), units.MaxTime)
+				r.Watch(fmt.Sprintf("%v/receiver-tor", scheme), net.DownToRPort(net.Hosts[1][0]))
+				r.Watch(fmt.Sprintf("%v/proxy-tor", scheme), net.DownToRPort(net.Hosts[0][len(net.Hosts[0])-1]))
+				r.Start(e)
+				recorders = append(recorders, r)
+			}
+		}
+		res, err := incastproxy.RunIncast(spec)
+		if err != nil {
+			fatal(err)
+		}
+		rr := res.Runs[0]
+		fmt.Printf("%-18s ICT avg=%v min=%v max=%v", s, res.ICT.Avg(), res.ICT.Min(), res.ICT.Max())
+		if s == incastproxy.Baseline {
+			baseline = res.ICT.Avg()
+		} else if baseline > 0 {
+			fmt.Printf("  reduction=%.2f%%", (1-float64(res.ICT.Avg())/float64(baseline))*100)
+		}
+		fmt.Printf("\n  timeouts=%d retx=%d nacks=%d  rxToR(max=%v drops=%d)  pxToR(max=%v trims=%d)\n",
+			rr.Timeouts, rr.Retransmits, rr.Nacks,
+			rr.ReceiverToRMaxQueue, rr.ReceiverToRDrops, rr.ProxyToRMaxQueue, rr.ProxyToRTrims)
+	}
+
+	if *traceCSV != "" && len(recorders) > 0 {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		for i, r := range recorders {
+			if i > 0 {
+				fmt.Fprintln(f)
+			}
+			if err := r.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("queue time series written to %s\n", *traceCSV)
+	}
+}
+
+func parseSchemes(s string) ([]incastproxy.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return []incastproxy.Scheme{incastproxy.Baseline}, nil
+	case "naive":
+		return []incastproxy.Scheme{incastproxy.ProxyNaive}, nil
+	case "streamlined":
+		return []incastproxy.Scheme{incastproxy.ProxyStreamlined}, nil
+	case "all":
+		return incastproxy.Schemes(), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "incastsim:", err)
+	os.Exit(1)
+}

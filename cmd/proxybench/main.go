@@ -1,0 +1,57 @@
+// Command proxybench reproduces the §5 host-stack measurements: per-packet
+// latency CDFs for the user-space naive proxy (Figure 4) and the eBPF
+// streamlined proxy's lower/upper bounds (Figure 5), plus the measured
+// runtime of the real Go implementation of the proxy's packet program.
+//
+// Usage:
+//
+//	proxybench             # all three figures at 200k packets
+//	proxybench -fig 4      # only Figure 4
+//	proxybench -points 21  # also print CDF plot points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	incastproxy "incastproxy"
+	"incastproxy/internal/stats"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "4 | 5a | 5b | all")
+		packets = flag.Int("packets", 200_000, "packets per distribution")
+		nackPct = flag.Float64("nack-fraction", 0.05, "fraction of trimmed-header packets (Fig 5a mix)")
+		points  = flag.Int("points", 0, "also print N evenly spaced CDF points per figure")
+		seed    = flag.Int64("seed", 1, "model random seed")
+	)
+	flag.Parse()
+
+	show := func(name string) bool { return *fig == "all" || *fig == name }
+	emit := func(title string, c *stats.CDF) {
+		incastproxy.WriteCDFTable(os.Stdout, title, c)
+		if *points > 1 {
+			for _, p := range c.Points(*points) {
+				fmt.Printf("cdf %g %v\n", p.Prob, p.Latency)
+			}
+		}
+		fmt.Println()
+	}
+
+	if show("4") {
+		emit("Figure 4: user-space naive proxy per-packet latency (paper p99=359.17us)",
+			incastproxy.Figure4(*packets, *seed))
+	}
+	if show("5a") {
+		emit(fmt.Sprintf("Figure 5a: eBPF lower bound, modeled (%.0f%% NACK path; paper median=0.42us)", *nackPct*100),
+			incastproxy.Figure5a(*packets, *nackPct, *seed+1))
+		emit("Figure 5a: real Go packet-program runtime, measured on this machine",
+			incastproxy.Figure5aMeasured(*packets, *nackPct))
+	}
+	if show("5b") {
+		emit("Figure 5b: stack-inclusive upper bound (paper median=325.92us)",
+			incastproxy.Figure5b(*packets, *seed+2))
+	}
+}

@@ -1,0 +1,173 @@
+// Command relayd runs the real TCP connection-splitting relay (the naive
+// proxy design over kernel sockets) and companion load-generation modes.
+//
+// Deploy the relay in the sending datacenter; point senders at it with the
+// wire dial preamble (see internal/relay's DialViaRelay, or -mode source
+// here).
+//
+// Usage:
+//
+//	relayd -mode proxy  -listen :7000                      # the relay
+//	relayd -mode sink   -listen :7001                      # byte sink
+//	relayd -mode source -relay host:7000 -target host:7001 -size 100MB -conns 4
+//	relayd -mode source -target host:7001 -size 100MB      # direct (no relay)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"time"
+
+	"incastproxy/internal/cliutil"
+	"incastproxy/internal/relay"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "proxy", "proxy | sink | source")
+		listen  = flag.String("listen", ":7000", "listen address (proxy, sink)")
+		relayAt = flag.String("relay", "", "relay address (source; empty = direct)")
+		target  = flag.String("target", "", "target address (source)")
+		sizeRaw = flag.String("size", "100MB", "bytes per connection (source)")
+		conns   = flag.Int("conns", 4, "concurrent connections (source) — the incast degree")
+		allowed = flag.String("allow-prefix", "", "restrict relay targets to this address prefix")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "proxy":
+		runProxy(*listen, *allowed)
+	case "sink":
+		runSink(*listen)
+	case "source":
+		runSource(*relayAt, *target, *sizeRaw, *conns)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func runProxy(listen, allowPrefix string) {
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := relay.Config{}
+	if allowPrefix != "" {
+		cfg.AllowTarget = func(addr string) bool { return strings.HasPrefix(addr, allowPrefix) }
+	}
+	srv := relay.New(cfg)
+	fmt.Printf("relayd: proxy listening on %v\n", l.Addr())
+
+	go reportMetrics(srv)
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		srv.Close()
+	}()
+	if err := srv.Serve(l); err != nil && err != net.ErrClosed {
+		fatal(err)
+	}
+}
+
+func reportMetrics(srv *relay.Server) {
+	for range time.Tick(5 * time.Second) {
+		fmt.Printf("relayd: conns=%d active=%d up=%dB down=%dB dialErrs=%d\n",
+			srv.Metrics.AcceptedConns.Load(), srv.Metrics.ActiveConns.Load(),
+			srv.Metrics.BytesUpstream.Load(), srv.Metrics.BytesDownstr.Load(),
+			srv.Metrics.DialErrors.Load())
+	}
+}
+
+func runSink(listen string) {
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("relayd: sink listening on %v\n", l.Addr())
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			defer c.Close()
+			start := time.Now()
+			n, _ := io.Copy(io.Discard, c)
+			el := time.Since(start)
+			rate := float64(n) * 8 / el.Seconds() / 1e9
+			fmt.Printf("relayd: sink drained %d bytes in %v (%.2f Gbps) from %v\n",
+				n, el.Round(time.Millisecond), rate, c.RemoteAddr())
+		}()
+	}
+}
+
+func runSource(relayAddr, target, sizeRaw string, conns int) {
+	if target == "" {
+		fatal(fmt.Errorf("source mode needs -target"))
+	}
+	size, err := cliutil.ParseSize(sizeRaw)
+	if err != nil {
+		fatal(err)
+	}
+	per := int64(size) / int64(conns)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var c net.Conn
+			var err error
+			if relayAddr != "" {
+				c, err = relay.DialViaRelay(context.Background(), nil, relayAddr, target)
+			} else {
+				c, err = net.Dial("tcp", target)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "relayd: conn %d: %v\n", i, err)
+				return
+			}
+			defer c.Close()
+			buf := make([]byte, 256<<10)
+			var sent int64
+			for sent < per {
+				n := int64(len(buf))
+				if per-sent < n {
+					n = per - sent
+				}
+				wn, err := c.Write(buf[:n])
+				sent += int64(wn)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "relayd: conn %d write: %v\n", i, err)
+					return
+				}
+			}
+			if cw, ok := c.(interface{ CloseWrite() error }); ok {
+				cw.CloseWrite()
+			}
+		}(i)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	rate := float64(size) * 8 / el.Seconds() / 1e9
+	route := "direct"
+	if relayAddr != "" {
+		route = "via relay " + relayAddr
+	}
+	fmt.Printf("relayd: pushed %v over %d conns %s in %v (%.2f Gbps aggregate)\n",
+		size, conns, route, el.Round(time.Millisecond), rate)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "relayd:", err)
+	os.Exit(1)
+}

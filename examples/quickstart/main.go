@@ -1,0 +1,47 @@
+// Quickstart: simulate one inter-datacenter incast under all three schemes
+// of the paper (§4.1) and print the completion times — the minimal use of
+// the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	incastproxy "incastproxy"
+)
+
+func main() {
+	// 8 senders in DC0 push 40 MB total to one receiver in DC1, over
+	// the paper's default fabric (100 Gb/s everywhere, 1 ms long-haul
+	// links).
+	spec := incastproxy.IncastSpec{
+		Degree:     8,
+		TotalBytes: 40 * incastproxy.MB,
+		Runs:       3,
+		Seed:       1,
+	}
+
+	cmp, err := incastproxy.CompareSchemes(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("incast: %d senders, %v total, %v long-haul links\n\n",
+		spec.Degree, spec.TotalBytes, incastproxy.DefaultTopo().InterDelay)
+	for _, s := range incastproxy.Schemes() {
+		res := cmp.Results[s]
+		fmt.Printf("%-18s ICT avg=%-10v min=%-10v max=%-10v",
+			s, res.ICT.Avg(), res.ICT.Min(), res.ICT.Max())
+		if s != incastproxy.Baseline {
+			fmt.Printf("  (%.1f%% faster than baseline)", cmp.Reduction(s)*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe extra proxy hop *reduces* completion time: the congestion")
+	fmt.Println("point moves from the receiver's down-ToR (milliseconds away from")
+	fmt.Println("the senders) to the proxy's down-ToR (microseconds away), so the")
+	fmt.Println("senders' control loops converge almost immediately.")
+}

@@ -1,0 +1,258 @@
+package incastproxy
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"incastproxy/internal/hoststack"
+	"incastproxy/internal/stats"
+	"incastproxy/internal/units"
+	"incastproxy/internal/workload"
+)
+
+// FigurePoint is one (x, scheme) cell of a paper figure: the avg/min/max
+// incast completion time over the sweep's repeated runs.
+type FigurePoint struct {
+	// Label describes the x-coordinate ("degree=8", "size=100MB",
+	// "latency=1ms").
+	Label string
+	// X is the numeric x-coordinate (degree, bytes, or latency in us).
+	X      float64
+	Scheme Scheme
+
+	Avg, Min, Max Duration
+	// BaselineAvg carries the matching baseline average so reductions
+	// can be computed per point.
+	BaselineAvg Duration
+}
+
+// Reduction returns this point's relative ICT reduction versus baseline.
+func (p FigurePoint) Reduction() float64 { return stats.Reduction(p.BaselineAvg, p.Avg) }
+
+// SweepConfig parameterizes the figure sweeps. PaperSweep reproduces §4's
+// exact settings; QuickSweep is a reduced-size variant for benchmarks and
+// CI (same shapes, minutes less wall time).
+type SweepConfig struct {
+	// Degrees is Figure 2 (Left)'s x-axis (fixed total size).
+	Degrees []int
+	// Fig2LeftTotal is the fixed total for the degree sweep.
+	Fig2LeftTotal ByteSize
+
+	// Sizes is Figure 2 (Right)'s x-axis (fixed degree).
+	Sizes []ByteSize
+	// Fig2RightDegree is the fixed degree for the size sweep.
+	Fig2RightDegree int
+
+	// Latencies is Figure 3's x-axis: the long-haul link propagation
+	// delay (fixed degree and total size).
+	Latencies  []Duration
+	Fig3Degree int
+	Fig3Total  ByteSize
+
+	Runs int
+	Seed int64
+}
+
+// PaperSweep returns §4's settings: 100 MB totals, degree 4 for the size
+// and latency sweeps, 5 runs per point.
+func PaperSweep() SweepConfig {
+	return SweepConfig{
+		Degrees:         []int{2, 4, 8, 16, 32, 63},
+		Fig2LeftTotal:   100 * MB,
+		Sizes:           []ByteSize{20 * MB, 50 * MB, 100 * MB, 200 * MB},
+		Fig2RightDegree: 4,
+		Latencies: []Duration{
+			units.Microsecond, 10 * units.Microsecond, 100 * units.Microsecond,
+			units.Millisecond, 10 * units.Millisecond, 100 * units.Millisecond,
+		},
+		Fig3Degree: 4,
+		Fig3Total:  100 * MB,
+		Runs:       5,
+		Seed:       1,
+	}
+}
+
+// QuickSweep returns a reduced-size sweep preserving the figures' shapes:
+// 40 MB totals keep the first-RTT burst above the 17 MB ToR buffer, and
+// the 20 MB point keeps Figure 2 (Right)'s crossover.
+func QuickSweep() SweepConfig {
+	return SweepConfig{
+		Degrees:         []int{2, 4, 8, 16},
+		Fig2LeftTotal:   40 * MB,
+		Sizes:           []ByteSize{10 * MB, 20 * MB, 40 * MB, 80 * MB},
+		Fig2RightDegree: 4,
+		Latencies: []Duration{
+			10 * units.Microsecond, 100 * units.Microsecond,
+			units.Millisecond, 10 * units.Millisecond,
+		},
+		Fig3Degree: 4,
+		Fig3Total:  40 * MB,
+		Runs:       2,
+		Seed:       1,
+	}
+}
+
+// Figure2Left regenerates the degree sweep: fixed total size, varying the
+// number of senders, all three schemes.
+func Figure2Left(cfg SweepConfig) ([]FigurePoint, error) {
+	var pts []FigurePoint
+	for _, deg := range cfg.Degrees {
+		row, err := sweepPoint(cfg, fmt.Sprintf("degree=%d", deg), float64(deg), func(sp *IncastSpec) {
+			sp.Degree = deg
+			sp.TotalBytes = cfg.Fig2LeftTotal
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, row...)
+	}
+	return pts, nil
+}
+
+// Figure2Right regenerates the size sweep: fixed degree, varying total
+// incast size.
+func Figure2Right(cfg SweepConfig) ([]FigurePoint, error) {
+	var pts []FigurePoint
+	for _, size := range cfg.Sizes {
+		size := size
+		row, err := sweepPoint(cfg, fmt.Sprintf("size=%v", size), float64(size), func(sp *IncastSpec) {
+			sp.Degree = cfg.Fig2RightDegree
+			sp.TotalBytes = size
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, row...)
+	}
+	return pts, nil
+}
+
+// Figure3 regenerates the latency-gap sweep: fixed degree and size,
+// varying the long-haul link latency (log-log in the paper).
+func Figure3(cfg SweepConfig) ([]FigurePoint, error) {
+	var pts []FigurePoint
+	for _, lat := range cfg.Latencies {
+		lat := lat
+		row, err := sweepPoint(cfg, fmt.Sprintf("latency=%v", lat), lat.Microseconds(), func(sp *IncastSpec) {
+			sp.Degree = cfg.Fig3Degree
+			sp.TotalBytes = cfg.Fig3Total
+			t := DefaultTopo()
+			t.InterDelay = lat
+			sp.Topo = t
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, row...)
+	}
+	return pts, nil
+}
+
+// sweepPoint runs one x-coordinate under all three schemes.
+func sweepPoint(cfg SweepConfig, label string, x float64, customize func(*IncastSpec)) ([]FigurePoint, error) {
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	var out []FigurePoint
+	var baseAvg Duration
+	for _, s := range Schemes() {
+		sp := IncastSpec{Scheme: s, Runs: runs, Seed: cfg.Seed}
+		customize(&sp)
+		res, err := workload.Run(sp)
+		if err != nil {
+			return nil, fmt.Errorf("%s %v: %w", label, s, err)
+		}
+		p := FigurePoint{
+			Label:  label,
+			X:      x,
+			Scheme: s,
+			Avg:    res.ICT.Avg(),
+			Min:    res.ICT.Min(),
+			Max:    res.ICT.Max(),
+		}
+		if s == Baseline {
+			baseAvg = p.Avg
+		}
+		p.BaselineAvg = baseAvg
+		out = append(out, p)
+	}
+	// Backfill the baseline average on every point of the row.
+	for i := range out {
+		out[i].BaselineAvg = baseAvg
+	}
+	return out, nil
+}
+
+// MeanReduction averages a proxy scheme's per-point reductions across a
+// figure (how §4.2 quotes "on average" numbers).
+func MeanReduction(pts []FigurePoint, s Scheme) float64 {
+	var sum float64
+	var n int
+	for _, p := range pts {
+		if p.Scheme == s && p.BaselineAvg > 0 {
+			sum += p.Reduction()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WriteFigureTable renders sweep points as an aligned table (one row per
+// x-coordinate and scheme), the format cmd/figures prints.
+func WriteFigureTable(w io.Writer, title string, pts []FigurePoint) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# %s\n", title)
+	fmt.Fprintln(tw, "point\tscheme\tavg\tmin\tmax\treduction")
+	for _, p := range pts {
+		red := "-"
+		if p.Scheme != Baseline && p.BaselineAvg > 0 {
+			red = fmt.Sprintf("%.2f%%", p.Reduction()*100)
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%v\t%s\n", p.Label, p.Scheme, p.Avg, p.Min, p.Max, red)
+	}
+	return tw.Flush()
+}
+
+// CDF re-exports the empirical CDF type used by the host-stack figures.
+type CDF = stats.CDF
+
+// Figure4 regenerates the user-space proxy per-packet latency CDF
+// (p99 ~ 359 us in §5).
+func Figure4(packets int, seed int64) *CDF {
+	return hoststack.UserSpaceProxy().Measure(packets, seed)
+}
+
+// Figure5a regenerates the eBPF lower-bound CDF (median ~0.42 us), with
+// the given fraction of trimmed-header (NACK-path) packets.
+func Figure5a(packets int, nackFraction float64, seed int64) *CDF {
+	return hoststack.EBPFLowerBound(nackFraction).Measure(packets, seed)
+}
+
+// Figure5aMeasured runs the real Go implementation of the proxy's packet
+// program and returns its measured per-packet runtime CDF — the empirical
+// counterpart to the modeled lower bound.
+func Figure5aMeasured(packets int, nackFraction float64) *CDF {
+	return hoststack.MeasureProgram(packets, nackFraction)
+}
+
+// Figure5b regenerates the stack-inclusive upper-bound CDF
+// (median ~326 us).
+func Figure5b(packets int, seed int64) *CDF {
+	return hoststack.EBPFUpperBound().Measure(packets, seed)
+}
+
+// WriteCDFTable renders a latency CDF at standard quantiles.
+func WriteCDFTable(w io.Writer, title string, c *CDF) error {
+	fmt.Fprintf(w, "# %s (n=%d)\n", title, c.N())
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999} {
+		if _, err := fmt.Fprintf(w, "p%-5.1f %v\n", q*100, c.Quantile(q)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module incastproxy
+
+go 1.22

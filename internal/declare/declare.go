@@ -1,0 +1,159 @@
+// Package declare is a prototype of the paper's §6 programming
+// abstraction: applications declare incast-like communication among
+// components that *could* be placed in different datacenters, and at
+// deployment time the provider converts cross-datacenter incasts into
+// proxy-assisted ones "without requiring any changes or permission from
+// the application".
+//
+// A Group is the declaration; Deployment.Plan is the provider-side
+// conversion, consulting an orchestrator for per-incast proxy decisions
+// and emitting concrete workload.FlowSpecs.
+package declare
+
+import (
+	"fmt"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/orchestrator"
+	"incastproxy/internal/units"
+	"incastproxy/internal/workload"
+)
+
+// Group declares one incast-like pattern: many senders feeding one
+// receiver, optionally repeating periodically (ML training
+// synchronization, §6).
+type Group struct {
+	// Name labels the group in plans and diagnostics.
+	Name string
+	// Receiver and Senders are component placements. The abstraction's
+	// point is that the developer states the *pattern*; whether it
+	// crosses datacenters is a deployment-time fact.
+	Receiver workload.HostRef
+	Senders  []workload.HostRef
+	// BytesPerSender is the declared transfer size hint.
+	BytesPerSender units.ByteSize
+	// Phases > 1 repeats the pattern every Period (periodic incast).
+	Phases int
+	Period units.Duration
+}
+
+// Validate reports declaration errors.
+func (g Group) Validate() error {
+	switch {
+	case g.Name == "":
+		return fmt.Errorf("declare: group needs a name")
+	case len(g.Senders) == 0:
+		return fmt.Errorf("declare: group %q has no senders", g.Name)
+	case g.BytesPerSender <= 0:
+		return fmt.Errorf("declare: group %q has no size hint", g.Name)
+	case g.Phases > 1 && g.Period <= 0:
+		return fmt.Errorf("declare: periodic group %q needs a Period", g.Name)
+	}
+	for _, s := range g.Senders {
+		if s == g.Receiver {
+			return fmt.Errorf("declare: group %q: sender equals receiver", g.Name)
+		}
+	}
+	return nil
+}
+
+// phases returns the effective phase count.
+func (g Group) phases() int {
+	if g.Phases < 1 {
+		return 1
+	}
+	return g.Phases
+}
+
+// Deployment is the provider-side context: fabric characteristics plus the
+// orchestrator holding proxy inventory.
+type Deployment struct {
+	Orc *orchestrator.Orchestrator
+
+	// Fabric characteristics used for benefit prediction.
+	InterRTT, IntraRTT units.Duration
+	Rate               units.BitRate
+	BufferBytes        units.ByteSize
+
+	// Scheme is the proxy design to deploy (default streamlined).
+	Scheme workload.Scheme
+}
+
+// PlannedGroup reports what Plan did with one group.
+type PlannedGroup struct {
+	Group    Group
+	Decision orchestrator.Decision
+	// CrossDC reports whether the group actually crossed datacenters at
+	// deployment time.
+	CrossDC bool
+	Flows   []workload.FlowSpec
+}
+
+// Plan converts declared groups into concrete flows, relaying
+// cross-datacenter incasts through orchestrator-chosen proxies when
+// beneficial. Flow IDs are assigned from firstID; the next free ID is
+// returned.
+func (d *Deployment) Plan(groups []Group, firstID netsim.FlowID) ([]PlannedGroup, netsim.FlowID, error) {
+	if d.Orc == nil {
+		return nil, firstID, fmt.Errorf("declare: deployment needs an orchestrator")
+	}
+	id := firstID
+	var planned []PlannedGroup
+	for _, g := range groups {
+		if err := g.Validate(); err != nil {
+			return nil, firstID, err
+		}
+		pg := PlannedGroup{Group: g}
+		for _, s := range g.Senders {
+			if s.DC != g.Receiver.DC {
+				pg.CrossDC = true
+				break
+			}
+		}
+		if pg.CrossDC {
+			req := orchestrator.Request{
+				Degree:      len(g.Senders),
+				Bytes:       units.ByteSize(len(g.Senders)) * g.BytesPerSender,
+				SenderDC:    g.Senders[0].DC,
+				InterRTT:    d.InterRTT,
+				IntraRTT:    d.IntraRTT,
+				Rate:        d.Rate,
+				BufferBytes: d.BufferBytes,
+				Scheme:      d.Scheme,
+			}
+			dec, err := d.Orc.Decide(req)
+			if err != nil {
+				return nil, firstID, fmt.Errorf("declare: group %q: %w", g.Name, err)
+			}
+			pg.Decision = dec
+		}
+		for phase := 0; phase < g.phases(); phase++ {
+			start := units.Duration(phase) * g.Period
+			for _, s := range g.Senders {
+				f := workload.FlowSpec{
+					ID:    id,
+					Src:   s,
+					Dst:   g.Receiver,
+					Bytes: g.BytesPerSender,
+					Start: start,
+				}
+				if pg.Decision.UseProxy && s.DC != g.Receiver.DC {
+					f.Via = &workload.ProxyRef{Scheme: pg.Decision.Scheme, At: pg.Decision.Proxy}
+				}
+				pg.Flows = append(pg.Flows, f)
+				id++
+			}
+		}
+		planned = append(planned, pg)
+	}
+	return planned, id, nil
+}
+
+// Flows flattens a plan into the flow list RunScenario consumes.
+func Flows(planned []PlannedGroup) []workload.FlowSpec {
+	var out []workload.FlowSpec
+	for _, pg := range planned {
+		out = append(out, pg.Flows...)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package declare
+
+import (
+	"testing"
+
+	"incastproxy/internal/orchestrator"
+	"incastproxy/internal/units"
+	"incastproxy/internal/workload"
+)
+
+func deployment(t *testing.T) *Deployment {
+	t.Helper()
+	orc := orchestrator.New(1)
+	orc.Register(orchestrator.Proxy{Ref: workload.HostRef{DC: 0, Host: 63}, Capacity: 100 * units.Gbps})
+	return &Deployment{
+		Orc:         orc,
+		InterRTT:    4 * units.Millisecond,
+		IntraRTT:    8 * units.Microsecond,
+		Rate:        100 * units.Gbps,
+		BufferBytes: 17 * units.MB,
+	}
+}
+
+func crossDCGroup() Group {
+	return Group{
+		Name:           "shuffle",
+		Receiver:       workload.HostRef{DC: 1, Host: 0},
+		Senders:        []workload.HostRef{{DC: 0, Host: 0}, {DC: 0, Host: 1}, {DC: 0, Host: 2}, {DC: 0, Host: 3}},
+		BytesPerSender: 25 * units.MB,
+	}
+}
+
+func TestGroupValidate(t *testing.T) {
+	if err := crossDCGroup().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h00 := workload.HostRef{DC: 0, Host: 0}
+	bad := []Group{
+		{},
+		{Name: "x", BytesPerSender: 1},
+		{Name: "x", Senders: []workload.HostRef{h00}},
+		{Name: "x", Senders: []workload.HostRef{h00}, BytesPerSender: 1, Phases: 3},
+		{Name: "x", Receiver: h00, Senders: []workload.HostRef{h00}, BytesPerSender: 1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestPlanProxiesCrossDCIncast(t *testing.T) {
+	d := deployment(t)
+	planned, next, err := d.Plan([]Group{crossDCGroup()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planned) != 1 || next != 5 {
+		t.Fatalf("planned=%d next=%d", len(planned), next)
+	}
+	pg := planned[0]
+	if !pg.CrossDC || !pg.Decision.UseProxy {
+		t.Fatalf("decision = %+v", pg.Decision)
+	}
+	for _, f := range pg.Flows {
+		if f.Via == nil || f.Via.At != (workload.HostRef{DC: 0, Host: 63}) {
+			t.Fatalf("flow not proxied: %+v", f)
+		}
+		if f.Via.Scheme != workload.ProxyStreamlined {
+			t.Fatalf("scheme = %v", f.Via.Scheme)
+		}
+	}
+	if len(Flows(planned)) != 4 {
+		t.Fatal("Flows flattening wrong")
+	}
+}
+
+func TestPlanLeavesIntraDCGroupsAlone(t *testing.T) {
+	d := deployment(t)
+	g := crossDCGroup()
+	g.Receiver = workload.HostRef{DC: 0, Host: 9} // same DC as senders
+	planned, _, err := d.Plan([]Group{g}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := planned[0]
+	if pg.CrossDC || pg.Decision.UseProxy {
+		t.Fatal("intra-DC group must not be proxied")
+	}
+	for _, f := range pg.Flows {
+		if f.Via != nil {
+			t.Fatal("intra-DC flow routed via proxy")
+		}
+	}
+}
+
+func TestPlanSmallIncastGoesDirect(t *testing.T) {
+	d := deployment(t)
+	g := crossDCGroup()
+	g.BytesPerSender = 100 * units.KB // tiny: no first-RTT loss
+	planned, _, err := d.Plan([]Group{g}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned[0].Decision.UseProxy {
+		t.Fatal("small incast should go direct (Fig 2 Right)")
+	}
+	for _, f := range planned[0].Flows {
+		if f.Via != nil {
+			t.Fatal("small incast flow proxied")
+		}
+	}
+}
+
+func TestPlanPeriodicGroupExpandsPhases(t *testing.T) {
+	d := deployment(t)
+	g := crossDCGroup()
+	g.Phases = 3
+	g.Period = units.Duration(10 * units.Millisecond)
+	planned, next, err := d.Plan([]Group{g}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planned[0].Flows) != 12 || next != 13 {
+		t.Fatalf("flows=%d next=%d", len(planned[0].Flows), next)
+	}
+	if planned[0].Flows[4].Start != g.Period || planned[0].Flows[8].Start != 2*g.Period {
+		t.Fatal("phase starts wrong")
+	}
+}
+
+func TestPlanNeedsOrchestrator(t *testing.T) {
+	d := &Deployment{}
+	if _, _, err := d.Plan([]Group{crossDCGroup()}, 1); err == nil {
+		t.Fatal("plan without orchestrator must fail")
+	}
+}
+
+func TestPlanValidatesGroups(t *testing.T) {
+	d := deployment(t)
+	if _, _, err := d.Plan([]Group{{}}, 1); err == nil {
+		t.Fatal("invalid group must fail plan")
+	}
+}
+
+func TestPlannedFlowsRunInSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	d := deployment(t)
+	g := crossDCGroup()
+	g.BytesPerSender = 2 * units.MB // still proxied? no: 8MB total, under
+	// buffer. Use enough to trigger proxying.
+	g.BytesPerSender = 10 * units.MB
+	planned, _, err := d.Plan([]Group{g}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planned[0].Decision.UseProxy {
+		t.Fatal("expected proxied plan")
+	}
+	res, err := workload.RunScenario(workload.Scenario{Flows: Flows(planned), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("planned scenario incomplete")
+	}
+}

@@ -1,0 +1,253 @@
+package detect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incastproxy/internal/rng"
+	"incastproxy/internal/units"
+)
+
+func us(n int64) units.Time { return units.Time(n) * units.Time(units.Microsecond) }
+
+func TestLossTrackerInOrderNoLosses(t *testing.T) {
+	lt := NewLossTracker(LossTrackerConfig{})
+	for seq := uint64(0); seq < 1000; seq++ {
+		if losses := lt.Observe(1, seq, us(int64(seq))); len(losses) != 0 {
+			t.Fatalf("in-order stream flagged losses: %v", losses)
+		}
+	}
+	if lt.Stats.LossesFlagged != 0 {
+		t.Fatalf("flagged = %d", lt.Stats.LossesFlagged)
+	}
+}
+
+func TestLossTrackerToleratesReordering(t *testing.T) {
+	lt := NewLossTracker(LossTrackerConfig{ReorderDelay: 100 * units.Microsecond})
+	// Swap adjacent pairs: 1,0,3,2,5,4... arriving 1us apart.
+	now := int64(0)
+	for base := uint64(0); base < 500; base += 2 {
+		for _, seq := range []uint64{base + 1, base} {
+			if losses := lt.Observe(1, seq, us(now)); len(losses) != 0 {
+				t.Fatalf("reordering within tolerance flagged: %v", losses)
+			}
+			now++
+		}
+	}
+	if lt.Stats.LossesFlagged != 0 {
+		t.Fatal("false positives under bounded reordering")
+	}
+}
+
+func TestLossTrackerDetectsRealLoss(t *testing.T) {
+	lt := NewLossTracker(LossTrackerConfig{ReorderDelay: 50 * units.Microsecond})
+	lt.Observe(1, 0, us(0))
+	lt.Observe(1, 1, us(1))
+	// seq 2 lost; 3..10 arrive.
+	var got []Loss
+	for seq := uint64(3); seq <= 10; seq++ {
+		got = append(got, lt.Observe(1, seq, us(int64(seq)))...)
+	}
+	if len(got) != 0 {
+		t.Fatalf("flagged before ReorderDelay: %v", got)
+	}
+	got = lt.Flush(us(100))
+	if len(got) != 1 || got[0] != (Loss{Flow: 1, Seq: 2}) {
+		t.Fatalf("losses = %v, want seq 2", got)
+	}
+	// Flushing again must not re-flag.
+	if again := lt.Flush(us(200)); len(again) != 0 {
+		t.Fatalf("double-flagged: %v", again)
+	}
+}
+
+func TestLossTrackerLossDetectedOnLaterArrival(t *testing.T) {
+	lt := NewLossTracker(LossTrackerConfig{ReorderDelay: 50 * units.Microsecond})
+	lt.Observe(1, 0, us(0))
+	lt.Observe(1, 2, us(1)) // hole at 1
+	losses := lt.Observe(1, 3, us(60))
+	if len(losses) != 1 || losses[0].Seq != 1 {
+		t.Fatalf("losses = %v", losses)
+	}
+}
+
+func TestLossTrackerLateArrivalCountsFalsePositive(t *testing.T) {
+	lt := NewLossTracker(LossTrackerConfig{ReorderDelay: 10 * units.Microsecond})
+	lt.Observe(1, 0, us(0))
+	lt.Observe(1, 2, us(1))
+	lt.Flush(us(50)) // seq 1 flagged
+	lt.Observe(1, 1, us(60))
+	if lt.Stats.LateArrivals != 1 {
+		t.Fatalf("late arrivals = %d", lt.Stats.LateArrivals)
+	}
+}
+
+func TestLossTrackerWindowOverrun(t *testing.T) {
+	lt := NewLossTracker(LossTrackerConfig{WindowPkts: 8, ReorderDelay: units.Second})
+	lt.Observe(1, 0, us(0))
+	// Jump far ahead: hole at 1..9 with window 8 forces early decisions.
+	losses := lt.Observe(1, 100, us(1))
+	if len(losses) == 0 {
+		t.Fatal("window overrun should force loss decisions")
+	}
+	if lt.Stats.WindowOverruns == 0 {
+		t.Fatal("overruns not counted")
+	}
+}
+
+func TestLossTrackerFlowEviction(t *testing.T) {
+	lt := NewLossTracker(LossTrackerConfig{MaxFlows: 4})
+	for f := uint64(1); f <= 5; f++ {
+		lt.Observe(f, 0, us(int64(f)))
+	}
+	if lt.TrackedFlows() != 4 {
+		t.Fatalf("tracked = %d", lt.TrackedFlows())
+	}
+	if lt.Stats.FlowEvictions != 1 {
+		t.Fatalf("evictions = %d", lt.Stats.FlowEvictions)
+	}
+}
+
+// Property: a random permutation bounded by maxDisplacement packets and
+// delivered densely in time never produces false positives, and dropping a
+// random subset always flags exactly the dropped sequences after a flush.
+func TestPropertyLossTrackerExactness(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dropEvery uint8) bool {
+		src := rng.New(seed)
+		n := int(nRaw)%200 + 20
+		drop := int(dropEvery)%7 + 3 // drop every 3rd..9th
+
+		// Build arrival order with local shuffles of width 3.
+		seqs := make([]uint64, 0, n)
+		dropped := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			if i%drop == 0 && i > 0 {
+				dropped[uint64(i)] = true
+				continue
+			}
+			seqs = append(seqs, uint64(i))
+		}
+		for i := 0; i+1 < len(seqs); i += 2 {
+			if src.Intn(2) == 0 {
+				seqs[i], seqs[i+1] = seqs[i+1], seqs[i]
+			}
+		}
+
+		lt := NewLossTracker(LossTrackerConfig{ReorderDelay: 100 * units.Microsecond, WindowPkts: 1 << 16})
+		flagged := map[uint64]bool{}
+		now := int64(0)
+		for _, s := range seqs {
+			for _, l := range lt.Observe(1, s, us(now)) {
+				flagged[l.Seq] = true
+			}
+			now++
+		}
+		for _, l := range lt.Flush(us(now + 1000)) {
+			flagged[l.Seq] = true
+		}
+		// Drops beyond the highest delivered sequence are invisible to
+		// gap-based detection (no later packet reveals the hole); the
+		// property covers only non-tail losses.
+		var maxDelivered uint64
+		for _, s := range seqs {
+			if s > maxDelivered {
+				maxDelivered = s
+			}
+		}
+		expect := map[uint64]bool{}
+		for s := range dropped {
+			if s < maxDelivered {
+				expect[s] = true
+			}
+		}
+		if len(flagged) != len(expect) {
+			return false
+		}
+		for s := range expect {
+			if !flagged[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncastDetectorThreshold(t *testing.T) {
+	d := NewIncastDetector(IncastDetectorConfig{DegreeThreshold: 4, MinBytes: units.MB})
+	dst := uint64(9)
+	// Three senders: below threshold.
+	for s := uint64(1); s <= 3; s++ {
+		if d.ObserveFlowStart(dst, s, units.MB, us(int64(s))) {
+			t.Fatal("detected below degree threshold")
+		}
+	}
+	// Fourth sender crosses it.
+	if !d.ObserveFlowStart(dst, 4, units.MB, us(4)) {
+		t.Fatal("not detected at threshold")
+	}
+	// Still active: no re-trigger.
+	if d.ObserveFlowStart(dst, 5, units.MB, us(5)) {
+		t.Fatal("re-triggered while active")
+	}
+	if d.Degree(dst, us(5)) != 5 {
+		t.Fatalf("degree = %d", d.Degree(dst, us(5)))
+	}
+}
+
+func TestIncastDetectorMinBytesFilter(t *testing.T) {
+	d := NewIncastDetector(IncastDetectorConfig{DegreeThreshold: 2, MinBytes: 10 * units.MB})
+	dst := uint64(1)
+	for s := uint64(1); s <= 6; s++ {
+		if d.ObserveFlowStart(dst, s, units.KB, us(int64(s))) {
+			t.Fatal("tiny burst must not count as incast (Fig 2 Right)")
+		}
+	}
+}
+
+func TestIncastDetectorWindowExpiry(t *testing.T) {
+	d := NewIncastDetector(IncastDetectorConfig{Window: units.Duration(10 * units.Microsecond), DegreeThreshold: 2, MinBytes: 1})
+	dst := uint64(1)
+	d.ObserveFlowStart(dst, 1, units.MB, us(0))
+	// 1ms later the first flow is out of the window.
+	if d.Degree(dst, us(1000)) != 0 {
+		t.Fatal("window did not expire old flows")
+	}
+}
+
+func TestIncastDetectorPeriodPrediction(t *testing.T) {
+	d := NewIncastDetector(IncastDetectorConfig{DegreeThreshold: 2, MinBytes: 1, Window: units.Duration(100 * units.Microsecond)})
+	dst := uint64(3)
+	// Bursts every 10ms: onset detection at t, t+10ms, t+20ms.
+	for burst := int64(0); burst < 3; burst++ {
+		base := burst * 10_000 // us
+		d.ObserveFlowStart(dst, 1, units.MB, us(base))
+		d.ObserveFlowStart(dst, 2, units.MB, us(base+1))
+		// Quiet period resets the active flag.
+		d.ObserveFlowStart(dst, 9, 1, us(base+5000))
+	}
+	next, ok := d.PredictNextOnset(dst)
+	if !ok {
+		t.Fatal("no prediction after 3 onsets")
+	}
+	want := us(30_001)
+	tol := units.Time(2 * units.Millisecond)
+	if next < want-tol || next > want+tol {
+		t.Fatalf("predicted %v, want ~%v", next, want)
+	}
+	if len(d.Onsets(dst)) != 3 {
+		t.Fatalf("onsets = %d", len(d.Onsets(dst)))
+	}
+}
+
+func TestIncastDetectorNoPredictionWithoutHistory(t *testing.T) {
+	d := NewIncastDetector(IncastDetectorConfig{})
+	if _, ok := d.PredictNextOnset(42); ok {
+		t.Fatal("prediction without history")
+	}
+	if d.Degree(42, us(0)) != 0 || d.Onsets(42) != nil {
+		t.Fatal("unknown destination should be empty")
+	}
+}

@@ -1,0 +1,121 @@
+package lan
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fabric is an in-process network: named endpoints connected by emulated
+// links whose latency/bandwidth depend on the endpoint pair. It mimics the
+// two-datacenter world: intra-DC dials get the LAN profile, cross-DC dials
+// the WAN profile.
+type Fabric struct {
+	mu        sync.Mutex
+	listeners map[Addr]*listener
+	// pathFor picks the link profile for a (from, to) pair.
+	pathFor func(from, to Addr) PipeConfig
+}
+
+// NewFabric returns a fabric where every path uses the given default
+// profile. Use SetPathFunc for pair-dependent profiles.
+func NewFabric(def PipeConfig) *Fabric {
+	return &Fabric{
+		listeners: make(map[Addr]*listener),
+		pathFor:   func(_, _ Addr) PipeConfig { return def },
+	}
+}
+
+// SetPathFunc installs a function choosing the link profile per
+// (from, to) endpoint pair.
+func (f *Fabric) SetPathFunc(fn func(from, to Addr) PipeConfig) {
+	f.mu.Lock()
+	f.pathFor = fn
+	f.mu.Unlock()
+}
+
+// Listen binds a listener at addr.
+func (f *Fabric) Listen(addr Addr) (net.Listener, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, exists := f.listeners[addr]; exists {
+		return nil, ErrAddrInUse
+	}
+	l := &listener{fabric: f, addr: addr, backlog: make(chan *Conn, 64), closed: make(chan struct{})}
+	f.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects from one endpoint to a listening address.
+func (f *Fabric) Dial(from, to Addr) (net.Conn, error) {
+	f.mu.Lock()
+	l, ok := f.listeners[to]
+	pathFor := f.pathFor
+	f.mu.Unlock()
+	if !ok {
+		return nil, ErrRefused
+	}
+	clientEnd, serverEnd := Pipe(pathFor(from, to), from, to)
+	select {
+	case l.backlog <- serverEnd:
+		return clientEnd, nil
+	case <-time.After(time.Second):
+		clientEnd.Close()
+		return nil, ErrRefused
+	}
+}
+
+// Dialer returns a net.Dialer-shaped function originating at from, for
+// APIs that take func(ctx, network, addr).
+func (f *Fabric) Dialer(from Addr) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	return func(ctx context.Context, _ string, addr string) (net.Conn, error) {
+		type res struct {
+			c   net.Conn
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			c, err := f.Dial(from, Addr(addr))
+			ch <- res{c, err}
+		}()
+		select {
+		case r := <-ch:
+			return r.c, r.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+type listener struct {
+	fabric  *Fabric
+	addr    Addr
+	backlog chan *Conn
+	once    sync.Once
+	closed  chan struct{}
+}
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		l.fabric.mu.Lock()
+		delete(l.fabric.listeners, l.addr)
+		l.fabric.mu.Unlock()
+		close(l.closed)
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *listener) Addr() net.Addr { return l.addr }

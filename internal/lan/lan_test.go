@@ -1,0 +1,275 @@
+package lan
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"incastproxy/internal/units"
+)
+
+func TestPipeBasicTransfer(t *testing.T) {
+	a, b := Pipe(PipeConfig{}, "a", "b")
+	defer a.Close()
+	defer b.Close()
+
+	msg := []byte("hello across the pipe")
+	go func() {
+		a.Write(msg)
+		a.CloseWrite()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPipeLatencyApplied(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	a, b := Pipe(PipeConfig{Latency: lat}, "a", "b")
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	go a.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < lat {
+		t.Fatalf("read completed in %v, before the %v latency", el, lat)
+	}
+}
+
+func TestPipeBandwidthLimited(t *testing.T) {
+	// 1 Mb/s: 25 KB takes ~200ms.
+	a, b := Pipe(PipeConfig{Rate: units.Mbps, BufBytes: 1 << 20}, "a", "b")
+	defer a.Close()
+	defer b.Close()
+
+	payload := make([]byte, 25_000)
+	start := time.Now()
+	go func() {
+		a.Write(payload)
+		a.CloseWrite()
+	}()
+	n, err := io.Copy(io.Discard, b)
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("copy: n=%d err=%v", n, err)
+	}
+	el := time.Since(start)
+	if el < 150*time.Millisecond {
+		t.Fatalf("25KB at 1Mbps finished in %v; rate limit not applied", el)
+	}
+	if el > 2*time.Second {
+		t.Fatalf("took %v; rate limiter far too slow", el)
+	}
+}
+
+func TestPipeDuplex(t *testing.T) {
+	a, b := Pipe(PipeConfig{}, "a", "b")
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		io.ReadFull(a, buf)
+		if string(buf) != "pong" {
+			t.Error("a got", string(buf))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4)
+		io.ReadFull(b, buf)
+		if string(buf) != "ping" {
+			t.Error("b got", string(buf))
+		}
+		b.Write([]byte("pong"))
+	}()
+	wg.Wait()
+}
+
+func TestPipeCloseUnblocksReader(t *testing.T) {
+	a, b := Pipe(PipeConfig{}, "a", "b")
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := b.Read(buf)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if err != io.EOF && err != io.ErrClosedPipe {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not unblocked by close")
+	}
+}
+
+func TestPipeWriteAfterPeerClose(t *testing.T) {
+	a, b := Pipe(PipeConfig{}, "a", "b")
+	b.Close()
+	time.Sleep(5 * time.Millisecond)
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer should fail")
+	}
+}
+
+func TestPipeReadDeadline(t *testing.T) {
+	a, b := Pipe(PipeConfig{}, "a", "b")
+	defer a.Close()
+	defer b.Close()
+	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := b.Read(buf)
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestPipeAddrs(t *testing.T) {
+	a, b := Pipe(PipeConfig{}, "dc0/h1", "dc1/h2")
+	defer a.Close()
+	defer b.Close()
+	if a.LocalAddr().String() != "dc0/h1" || a.RemoteAddr().String() != "dc1/h2" {
+		t.Fatal("a addrs wrong")
+	}
+	if b.LocalAddr().String() != "dc1/h2" || a.LocalAddr().Network() != "lan" {
+		t.Fatal("b addrs wrong")
+	}
+}
+
+func TestFabricListenDial(t *testing.T) {
+	f := NewFabric(PipeConfig{})
+	l, err := f.Listen("dc1/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	go func() {
+		c, err := f.Dial("dc0/client", "dc1/server")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write([]byte("hi"))
+		c.Close()
+	}()
+
+	c, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("got %q err %v", buf, err)
+	}
+}
+
+func TestFabricDialRefused(t *testing.T) {
+	f := NewFabric(PipeConfig{})
+	if _, err := f.Dial("a", "nobody"); err != ErrRefused {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFabricDuplicateListen(t *testing.T) {
+	f := NewFabric(PipeConfig{})
+	if _, err := f.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Listen("x"); err != ErrAddrInUse {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFabricListenerCloseUnblocksAccept(t *testing.T) {
+	f := NewFabric(PipeConfig{})
+	l, _ := f.Listen("x")
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if err != net.ErrClosed {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept not unblocked")
+	}
+	// Address is reusable after close.
+	if _, err := f.Listen("x"); err != nil {
+		t.Fatal("address not released:", err)
+	}
+}
+
+func TestFabricPathFunc(t *testing.T) {
+	f := NewFabric(PipeConfig{})
+	f.SetPathFunc(func(from, to Addr) PipeConfig {
+		if from == "dc0/c" && to == "dc1/s" {
+			return PipeConfig{Latency: 40 * time.Millisecond}
+		}
+		return PipeConfig{}
+	})
+	l, _ := f.Listen("dc1/s")
+	defer l.Close()
+	go func() {
+		c, _ := l.Accept()
+		buf := make([]byte, 1)
+		io.ReadFull(c, buf)
+		c.Write(buf)
+	}()
+	c, err := f.Dial("dc0/c", "dc1/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 80*time.Millisecond {
+		t.Fatalf("RTT %v, want >= 80ms (2x40ms)", rtt)
+	}
+}
+
+func TestFabricDialerContext(t *testing.T) {
+	f := NewFabric(PipeConfig{})
+	l, _ := f.Listen("s")
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	dial := f.Dialer("c")
+	c, err := dial(t.Context(), "lan", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}

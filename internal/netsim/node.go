@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"fmt"
+
+	"incastproxy/internal/rng"
+	"incastproxy/internal/sim"
+)
+
+// maxHops guards against routing loops; no sane path in the two-DC fabric
+// exceeds it.
+const maxHops = 64
+
+// Switch forwards packets by destination host using a FIB with ECMP
+// next-hop sets. With spraying enabled (the §4.1 configuration) it picks a
+// uniformly random next-hop per packet; otherwise it hashes the flow ID so
+// a flow sticks to one path.
+type Switch struct {
+	id     NodeID
+	name   string
+	ports  []*Port
+	fib    map[NodeID][]*Port
+	src    *rng.Source
+	spray  bool
+	Misses uint64 // packets with no FIB entry (dropped)
+}
+
+// NewSwitch returns a switch with the given identity. src drives spraying
+// decisions; spray selects per-packet (true) or per-flow (false) ECMP.
+func NewSwitch(id NodeID, name string, src *rng.Source, spray bool) *Switch {
+	return &Switch{id: id, name: name, fib: make(map[NodeID][]*Port), src: src, spray: spray}
+}
+
+// ID implements Node.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Name implements Node.
+func (s *Switch) Name() string { return s.name }
+
+func (s *Switch) attachPort(p *Port) { s.ports = append(s.ports, p) }
+
+// Ports returns the switch's attached ports in attachment order.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// AddRoute appends ports to the ECMP next-hop set for destination host dst.
+func (s *Switch) AddRoute(dst NodeID, ports ...*Port) {
+	s.fib[dst] = append(s.fib[dst], ports...)
+}
+
+// Routes returns the ECMP set for dst (nil if none).
+func (s *Switch) Routes(dst NodeID) []*Port { return s.fib[dst] }
+
+// Receive implements Node: look up the FIB and forward.
+func (s *Switch) Receive(e *sim.Engine, p *Packet, _ *Port) {
+	p.Hops++
+	if p.Hops > maxHops {
+		panic(fmt.Sprintf("netsim: routing loop: %v at %s", p, s.name))
+	}
+	next := s.fib[p.Dst]
+	if len(next) == 0 {
+		s.Misses++
+		return
+	}
+	var out *Port
+	switch {
+	case len(next) == 1:
+		out = next[0]
+	case s.spray:
+		out = next[s.src.Intn(len(next))]
+	default:
+		out = next[flowHash(p.Flow)%uint64(len(next))]
+	}
+	out.Send(e, p)
+}
+
+// flowHash is a fixed 64-bit mix (splitmix64 finalizer) for per-flow ECMP.
+func flowHash(f FlowID) uint64 {
+	x := uint64(f) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Endpoint consumes packets delivered to a host for one flow. Transport
+// senders/receivers and proxy relays all implement Endpoint.
+type Endpoint interface {
+	Handle(e *sim.Engine, p *Packet)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(e *sim.Engine, p *Packet)
+
+// Handle implements Endpoint.
+func (f EndpointFunc) Handle(e *sim.Engine, p *Packet) { f(e, p) }
+
+// Host is a server with a single NIC. Arriving packets are demultiplexed to
+// per-flow endpoints; a default endpoint receives unclaimed packets.
+type Host struct {
+	id        NodeID
+	name      string
+	nic       *Port
+	endpoints map[FlowID]Endpoint
+	catchAll  Endpoint
+	// Unclaimed counts packets that matched no endpoint.
+	Unclaimed uint64
+	nextPkt   *uint64
+}
+
+// NewHost returns a host. pktIDs is the shared packet-ID counter for the
+// simulation (so IDs are unique fabric-wide); it may be nil for tests.
+func NewHost(id NodeID, name string, pktIDs *uint64) *Host {
+	if pktIDs == nil {
+		pktIDs = new(uint64)
+	}
+	return &Host{id: id, name: name, endpoints: make(map[FlowID]Endpoint), nextPkt: pktIDs}
+}
+
+// ID implements Node.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+func (h *Host) attachPort(p *Port) {
+	if h.nic != nil {
+		panic("netsim: host " + h.name + " already has a NIC")
+	}
+	h.nic = p
+}
+
+// NIC returns the host's single port.
+func (h *Host) NIC() *Port { return h.nic }
+
+// Bind registers the endpoint handling packets of flow f at this host.
+func (h *Host) Bind(f FlowID, ep Endpoint) { h.endpoints[f] = ep }
+
+// Unbind removes a flow binding.
+func (h *Host) Unbind(f FlowID) { delete(h.endpoints, f) }
+
+// SetCatchAll installs an endpoint for packets with no flow binding.
+func (h *Host) SetCatchAll(ep Endpoint) { h.catchAll = ep }
+
+// NewPacket allocates a packet originating at this host with a unique ID.
+func (h *Host) NewPacket() *Packet {
+	*h.nextPkt++
+	return &Packet{ID: *h.nextPkt, Src: h.id}
+}
+
+// Send transmits pkt out of the host NIC.
+func (h *Host) Send(e *sim.Engine, pkt *Packet) {
+	h.nic.Send(e, pkt)
+}
+
+// Receive implements Node: demultiplex to the flow's endpoint.
+func (h *Host) Receive(e *sim.Engine, p *Packet, _ *Port) {
+	if ep, ok := h.endpoints[p.Flow]; ok {
+		ep.Handle(e, p)
+		return
+	}
+	if h.catchAll != nil {
+		h.catchAll.Handle(e, p)
+		return
+	}
+	h.Unclaimed++
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"fmt"
+
+	"incastproxy/internal/rng"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+// Node is anything attached to the fabric that can receive packets.
+type Node interface {
+	ID() NodeID
+	Name() string
+	// Receive is called when a packet has fully arrived at this node.
+	Receive(e *sim.Engine, p *Packet, from *Port)
+}
+
+// Port is one unidirectional egress attachment point of a node: an output
+// queue in front of a serializing link. Two ports form a full-duplex link
+// via Connect; each direction has its own queue and busy state.
+type Port struct {
+	owner Node
+	peer  *Port
+	rate  units.BitRate
+	delay units.Duration
+	q     *queue
+	busy  bool
+	down  bool
+	label string
+}
+
+// Connect joins a and b with a full-duplex link of the given rate and
+// one-way propagation delay. qa configures a's egress queue (toward b) and
+// qb configures b's egress queue (toward a). It returns the two ports
+// (a-side first).
+func Connect(a, b Node, rate units.BitRate, delay units.Duration, qa, qb QueueConfig, src *rng.Source) (*Port, *Port) {
+	var sa, sb *rng.Source
+	if src != nil {
+		sa, sb = src.Split(int64(a.ID())<<16|int64(b.ID())), src.Split(int64(b.ID())<<16|int64(a.ID()))
+	}
+	pa := &Port{owner: a, rate: rate, delay: delay, q: newQueue(qa, sa),
+		label: fmt.Sprintf("%s->%s", a.Name(), b.Name())}
+	pb := &Port{owner: b, rate: rate, delay: delay, q: newQueue(qb, sb),
+		label: fmt.Sprintf("%s->%s", b.Name(), a.Name())}
+	pa.peer, pb.peer = pb, pa
+	if attacher, ok := a.(portAttacher); ok {
+		attacher.attachPort(pa)
+	}
+	if attacher, ok := b.(portAttacher); ok {
+		attacher.attachPort(pb)
+	}
+	return pa, pb
+}
+
+type portAttacher interface{ attachPort(*Port) }
+
+// Owner returns the node this port belongs to.
+func (p *Port) Owner() Node { return p.owner }
+
+// Peer returns the port at the far end of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Rate returns the link bandwidth.
+func (p *Port) Rate() units.BitRate { return p.rate }
+
+// Delay returns the one-way propagation delay.
+func (p *Port) Delay() units.Duration { return p.delay }
+
+// Label returns a human-readable "src->dst" name for telemetry.
+func (p *Port) Label() string { return p.label }
+
+// Stats returns a snapshot of the egress queue's counters.
+func (p *Port) Stats() QueueStats { return p.q.Stats }
+
+// QueuedBytes returns the current data-band occupancy of the egress queue.
+func (p *Port) QueuedBytes() units.ByteSize { return p.q.bytesQueued() }
+
+// SetDown takes this egress direction of the link down (true) or restores
+// it. While down, every packet offered to the port is dropped — failure
+// injection for robustness tests. Packets already serialized keep
+// propagating (a cut does not recall photons in flight).
+func (p *Port) SetDown(down bool) { p.down = down }
+
+// Down reports whether the egress direction is failed.
+func (p *Port) Down() bool { return p.down }
+
+// Send enqueues pkt for transmission out of this port. Drops and trims are
+// applied by the queue according to its configuration.
+func (p *Port) Send(e *sim.Engine, pkt *Packet) {
+	if p.down {
+		p.q.Stats.Dropped++
+		return
+	}
+	if !p.q.enqueue(pkt) {
+		return // dropped; counted in queue stats
+	}
+	p.tryTransmit(e)
+}
+
+// tryTransmit starts serializing the next queued packet if the link is idle.
+func (p *Port) tryTransmit(e *sim.Engine) {
+	if p.busy || p.q.empty() {
+		return
+	}
+	pkt := p.q.pop()
+	p.busy = true
+	txTime := p.rate.TransmitTime(pkt.Size)
+	e.After(txTime, func(e *sim.Engine) {
+		p.busy = false
+		// Propagation: the packet arrives at the peer after the
+		// one-way delay; the link is pipelined, so the next packet
+		// can start serializing immediately.
+		e.After(p.delay, func(e *sim.Engine) {
+			p.peer.owner.Receive(e, pkt, p.peer)
+		})
+		p.tryTransmit(e)
+	})
+}

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"incastproxy/internal/rng"
+	"incastproxy/internal/units"
+)
+
+// QueueConfig parameterizes one egress queue. The §4.1 settings are exposed
+// directly: byte capacity, RED-style ECN thresholds, and trimming support.
+type QueueConfig struct {
+	// Capacity bounds the data queue in bytes; <= 0 means unbounded
+	// (used for host NICs, where the "queue" is host memory).
+	Capacity units.ByteSize
+	// PrioCapacity bounds the control/priority queue; <= 0 means
+	// unbounded. Control packets are tiny, so this rarely binds.
+	PrioCapacity units.ByteSize
+	// MarkLow/MarkHigh are the ECN marking thresholds: below MarkLow no
+	// packet is marked, above MarkHigh every packet is marked, and in
+	// between the marking probability rises linearly (RED on the
+	// instantaneous queue length, as DCTCP deployments configure).
+	// MarkHigh == 0 disables marking.
+	MarkLow, MarkHigh units.ByteSize
+	// Trim enables NDP-style packet trimming: a data packet that would
+	// overflow the data queue has its payload cut to ControlSize and is
+	// enqueued in the priority queue instead of being dropped.
+	Trim bool
+}
+
+// QueueStats counts what happened at one queue.
+type QueueStats struct {
+	Enqueued  uint64
+	Dropped   uint64
+	Trimmed   uint64
+	Marked    uint64
+	MaxBytes  units.ByteSize // high-watermark of data-queue occupancy
+	BytesSeen units.ByteSize // total bytes accepted
+}
+
+// queue is a two-band (control + data) egress queue with ECN and trimming.
+type queue struct {
+	cfg   QueueConfig
+	src   *rng.Source
+	data  fifo
+	prio  fifo
+	Stats QueueStats
+}
+
+type fifo struct {
+	pkts  []*Packet
+	head  int
+	bytes units.ByteSize
+}
+
+func (f *fifo) push(p *Packet) {
+	f.pkts = append(f.pkts, p)
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *Packet {
+	if f.head >= len(f.pkts) {
+		return nil
+	}
+	p := f.pkts[f.head]
+	f.pkts[f.head] = nil
+	f.head++
+	f.bytes -= p.Size
+	if f.head == len(f.pkts) {
+		f.pkts = f.pkts[:0]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) len() int { return len(f.pkts) - f.head }
+
+func newQueue(cfg QueueConfig, src *rng.Source) *queue {
+	return &queue{cfg: cfg, src: src}
+}
+
+// enqueue admits p, applying marking, trimming, or dropping. It reports
+// whether the packet was accepted (possibly trimmed).
+func (q *queue) enqueue(p *Packet) bool {
+	if p.IsControl() {
+		return q.enqueuePrio(p)
+	}
+	if q.cfg.Capacity > 0 && q.data.bytes+p.Size > q.cfg.Capacity {
+		// Overflow: trim or drop.
+		if q.cfg.Trim {
+			p.Trim()
+			q.Stats.Trimmed++
+			return q.enqueuePrio(p)
+		}
+		q.Stats.Dropped++
+		return false
+	}
+	q.maybeMark(p)
+	q.data.push(p)
+	q.Stats.Enqueued++
+	q.Stats.BytesSeen += p.Size
+	if q.data.bytes > q.Stats.MaxBytes {
+		q.Stats.MaxBytes = q.data.bytes
+	}
+	return true
+}
+
+func (q *queue) enqueuePrio(p *Packet) bool {
+	if q.cfg.PrioCapacity > 0 && q.prio.bytes+p.Size > q.cfg.PrioCapacity {
+		q.Stats.Dropped++
+		return false
+	}
+	q.prio.push(p)
+	q.Stats.Enqueued++
+	q.Stats.BytesSeen += p.Size
+	return true
+}
+
+// maybeMark applies RED-style ECN marking based on the instantaneous data
+// queue occupancy the packet observes on arrival.
+func (q *queue) maybeMark(p *Packet) {
+	if q.cfg.MarkHigh <= 0 {
+		return
+	}
+	occ := q.data.bytes + p.Size
+	switch {
+	case occ <= q.cfg.MarkLow:
+		return
+	case occ >= q.cfg.MarkHigh:
+		p.ECN = true
+	default:
+		span := float64(q.cfg.MarkHigh - q.cfg.MarkLow)
+		prob := float64(occ-q.cfg.MarkLow) / span
+		if q.src != nil && q.src.Float64() < prob {
+			p.ECN = true
+		} else if q.src == nil && prob >= 0.5 {
+			p.ECN = true
+		}
+	}
+	if p.ECN {
+		q.Stats.Marked++
+	}
+}
+
+// pop dequeues the next packet, strictly preferring the control band
+// (trimmed headers and ACK/NACKs must not wait behind data).
+func (q *queue) pop() *Packet {
+	if p := q.prio.pop(); p != nil {
+		return p
+	}
+	return q.data.pop()
+}
+
+// bytesQueued returns the current data-band occupancy.
+func (q *queue) bytesQueued() units.ByteSize { return q.data.bytes }
+
+// empty reports whether both bands are empty.
+func (q *queue) empty() bool { return q.data.len() == 0 && q.prio.len() == 0 }

@@ -1,0 +1,107 @@
+package orchestrator
+
+import (
+	"sort"
+
+	"incastproxy/internal/units"
+	"incastproxy/internal/workload"
+)
+
+// Fabric carries the path characteristics AssignIncasts needs for benefit
+// prediction (the §4.1 fabric's values by default via DefaultFabric).
+type Fabric struct {
+	InterRTT, IntraRTT units.Duration
+	Rate               units.BitRate
+	BufferBytes        units.ByteSize
+}
+
+// DefaultFabric returns the §4.1 fabric characteristics at 1 ms long-haul
+// links.
+func DefaultFabric() Fabric {
+	return Fabric{
+		InterRTT:    4 * units.Millisecond,
+		IntraRTT:    10 * units.Microsecond,
+		Rate:        100 * units.Gbps,
+		BufferBytes: 17 * units.MB,
+	}
+}
+
+// Assignment reports what AssignIncasts decided for one detected incast.
+type Assignment struct {
+	Dst      workload.HostRef
+	Start    units.Duration
+	Degree   int
+	Bytes    units.ByteSize
+	Decision Decision
+}
+
+// AssignIncasts groups cross-datacenter flows into incasts (by destination
+// and start time), asks the orchestrator for a routing decision per
+// incast, and returns a copy of the flows with Via set where beneficial —
+// the end-to-end form of future work #3 used by the mltraining example.
+// Flows already carrying a Via, and intra-DC flows, are left untouched.
+func (o *Orchestrator) AssignIncasts(flows []workload.FlowSpec, fab Fabric,
+	scheme workload.Scheme) ([]workload.FlowSpec, []Assignment, error) {
+	type key struct {
+		dst   workload.HostRef
+		start units.Duration
+	}
+	groups := make(map[key][]int)
+	for i, f := range flows {
+		if f.Via == nil && f.Src.DC != f.Dst.DC {
+			k := key{f.Dst, f.Start}
+			groups[k] = append(groups[k], i)
+		}
+	}
+	// Deterministic decision order.
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.dst.DC != b.dst.DC {
+			return a.dst.DC < b.dst.DC
+		}
+		return a.dst.Host < b.dst.Host
+	})
+
+	out := append([]workload.FlowSpec(nil), flows...)
+	var assignments []Assignment
+	for _, k := range keys {
+		idxs := groups[k]
+		var bytes units.ByteSize
+		for _, i := range idxs {
+			bytes += flows[i].Bytes
+		}
+		dec, err := o.Decide(Request{
+			Degree:      len(idxs),
+			Bytes:       bytes,
+			SenderDC:    flows[idxs[0]].Src.DC,
+			InterRTT:    fab.InterRTT,
+			IntraRTT:    fab.IntraRTT,
+			Rate:        fab.Rate,
+			BufferBytes: fab.BufferBytes,
+			Scheme:      scheme,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if dec.UseProxy {
+			for _, i := range idxs {
+				out[i].Via = &workload.ProxyRef{Scheme: dec.Scheme, At: dec.Proxy}
+			}
+		}
+		assignments = append(assignments, Assignment{
+			Dst:      k.dst,
+			Start:    k.start,
+			Degree:   len(idxs),
+			Bytes:    bytes,
+			Decision: dec,
+		})
+	}
+	return out, assignments, nil
+}

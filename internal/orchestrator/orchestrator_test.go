@@ -1,0 +1,211 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"incastproxy/internal/units"
+	"incastproxy/internal/workload"
+)
+
+// bigReq is an incast that clearly benefits from proxying: 100 MB over a
+// 4 ms / 100 Gb/s path against a 17 MB buffer.
+func bigReq() Request {
+	return Request{
+		Degree:      8,
+		Bytes:       100 * units.MB,
+		SenderDC:    0,
+		InterRTT:    4 * units.Millisecond,
+		IntraRTT:    8 * units.Microsecond,
+		Rate:        100 * units.Gbps,
+		BufferBytes: 17 * units.MB,
+	}
+}
+
+func TestWorthProxyingLargeIncast(t *testing.T) {
+	ok, reason := WorthProxying(bigReq())
+	if !ok {
+		t.Fatalf("large incast should be proxied: %s", reason)
+	}
+}
+
+func TestWorthProxyingSmallIncast(t *testing.T) {
+	// Figure 2 (Right): a 20 MB degree-4 incast sees no first-RTT loss
+	// ("all three schemes are on par and there is no benefit using a
+	// proxy").
+	req := bigReq()
+	req.Degree = 4
+	req.Bytes = 20 * units.MB
+	ok, reason := WorthProxying(req)
+	if ok {
+		t.Fatalf("20MB/degree-4 incast should not be proxied (%s)", reason)
+	}
+	// A lone sender can never overload via aggregate burst.
+	req.Degree = 1
+	req.Bytes = 100 * units.MB
+	if ok, _ := WorthProxying(req); ok {
+		t.Fatal("degree-1 flow should not be proxied")
+	}
+}
+
+func TestWorthProxyingNoLatencyGap(t *testing.T) {
+	// Figure 3: with inter ~ intra there is nothing to win.
+	req := bigReq()
+	req.InterRTT = 20 * units.Microsecond
+	req.IntraRTT = 8 * units.Microsecond
+	if ok, _ := WorthProxying(req); ok {
+		t.Fatal("no latency gap -> no proxy")
+	}
+}
+
+func TestDecideNoProxyRegistered(t *testing.T) {
+	o := New(1)
+	if _, err := o.Decide(bigReq()); err != ErrNoProxies {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecidePicksLeastLoaded(t *testing.T) {
+	o := New(1)
+	p1 := Proxy{Ref: workload.HostRef{DC: 0, Host: 60}, Capacity: 100 * units.Gbps}
+	p2 := Proxy{Ref: workload.HostRef{DC: 0, Host: 61}, Capacity: 100 * units.Gbps}
+	o.Register(p1)
+	o.Register(p2)
+
+	d1, err := o.Decide(bigReq())
+	if err != nil || !d1.UseProxy {
+		t.Fatalf("d1 = %+v err %v", d1, err)
+	}
+	d2, err := o.Decide(bigReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Proxy == d2.Proxy {
+		t.Fatal("second incast should land on the other (less loaded) proxy")
+	}
+	// Releasing p1's load steers the next incast back to it.
+	o.Complete(d1.Proxy, bigReq().Bytes)
+	d3, _ := o.Decide(bigReq())
+	if d3.Proxy != d1.Proxy {
+		t.Fatalf("after release, expected %v, got %v", d1.Proxy, d3.Proxy)
+	}
+}
+
+func TestDecideIgnoresOtherDCProxies(t *testing.T) {
+	o := New(1)
+	o.Register(Proxy{Ref: workload.HostRef{DC: 1, Host: 0}, Capacity: 100 * units.Gbps})
+	if _, err := o.Decide(bigReq()); err != ErrNoProxies {
+		t.Fatal("proxy must be in the sending datacenter")
+	}
+}
+
+func TestDecideSmallIncastBypassesProxy(t *testing.T) {
+	o := New(1)
+	o.Register(Proxy{Ref: workload.HostRef{DC: 0, Host: 60}, Capacity: 100 * units.Gbps})
+	req := bigReq()
+	req.Bytes = units.MB
+	d, err := o.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.UseProxy {
+		t.Fatal("small incast must go direct")
+	}
+	if active, committed, _ := o.Load(workload.HostRef{DC: 0, Host: 60}); active != 0 || committed != 0 {
+		t.Fatal("bypass must not consume proxy capacity")
+	}
+}
+
+func TestDecideDefaultSchemeStreamlined(t *testing.T) {
+	o := New(1)
+	o.Register(Proxy{Ref: workload.HostRef{DC: 0, Host: 60}})
+	d, _ := o.Decide(bigReq())
+	if d.Scheme != workload.ProxyStreamlined {
+		t.Fatalf("scheme = %v", d.Scheme)
+	}
+	req := bigReq()
+	req.Scheme = workload.ProxyNaive
+	d, _ = o.Decide(req)
+	if d.Scheme != workload.ProxyNaive {
+		t.Fatalf("scheme = %v", d.Scheme)
+	}
+}
+
+func TestDecentralizedSamplesAndBalances(t *testing.T) {
+	o := New(7)
+	for h := 0; h < 8; h++ {
+		o.Register(Proxy{Ref: workload.HostRef{DC: 0, Host: 56 + h}, Capacity: 100 * units.Gbps})
+	}
+	counts := map[workload.HostRef]int{}
+	for i := 0; i < 64; i++ {
+		d, err := o.DecideDecentralized(bigReq(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.UseProxy || d.Probes != 2 {
+			t.Fatalf("decision = %+v", d)
+		}
+		counts[d.Proxy]++
+	}
+	// Power-of-two-choices must spread incasts: no proxy should hold
+	// more than a third of them.
+	for ref, c := range counts {
+		if c > 22 {
+			t.Fatalf("proxy %v got %d/64 incasts; balancing failed: %v", ref, c, counts)
+		}
+	}
+}
+
+func TestDecentralizedNoProxies(t *testing.T) {
+	o := New(1)
+	if _, err := o.DecideDecentralized(bigReq(), 3); err != ErrNoProxies {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompleteUnknownProxyIsNoop(t *testing.T) {
+	o := New(1)
+	o.Complete(workload.HostRef{DC: 0, Host: 1}, units.MB) // must not panic
+}
+
+func TestLoadAccounting(t *testing.T) {
+	o := New(1)
+	ref := workload.HostRef{DC: 0, Host: 60}
+	o.Register(Proxy{Ref: ref})
+	o.Decide(bigReq())
+	active, committed, ok := o.Load(ref)
+	if !ok || active != 1 || committed != bigReq().Bytes {
+		t.Fatalf("load = %d/%v ok=%v", active, committed, ok)
+	}
+	// Over-release clamps at zero.
+	o.Complete(ref, 10*bigReq().Bytes)
+	if _, committed, _ := o.Load(ref); committed != 0 {
+		t.Fatalf("committed = %v after over-release", committed)
+	}
+	if _, _, ok := o.Load(workload.HostRef{DC: 1, Host: 1}); ok {
+		t.Fatal("unknown proxy should not report load")
+	}
+}
+
+func TestPredictICTOrdering(t *testing.T) {
+	req := bigReq()
+	base := PredictICT(workload.Baseline, req)
+	prox := PredictICT(workload.ProxyStreamlined, req)
+	if prox >= base {
+		t.Fatalf("model: proxy (%v) must beat baseline (%v) on a lossy incast", prox, base)
+	}
+	// Small incast: baseline pays no penalty, proxy adds a hop.
+	small := req
+	small.Bytes = units.MB
+	if PredictICT(workload.Baseline, small) > PredictICT(workload.ProxyStreamlined, small) {
+		t.Fatal("model: tiny incast should not favor the proxy")
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	cases := map[int64]int64{0: 0, 1: 1, 4: 2, 15: 3, 16: 4, 1000000: 1000}
+	for in, want := range cases {
+		if got := isqrt(in); got != want {
+			t.Fatalf("isqrt(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

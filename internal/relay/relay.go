@@ -1,0 +1,284 @@
+// Package relay implements the naive proxy design (§3, §5) over real
+// net.Conn transports: a connection-splitting relay deployed in the sending
+// datacenter. Each client connection carries a wire-format dial preamble
+// naming the remote target; the relay opens its own connection to the
+// target and splices bytes in both directions.
+//
+// Splitting the connection is what shortens the feedback loop: the
+// client's transport control loop (kernel TCP in a real deployment, the
+// lan emulation in tests) terminates at the relay, microseconds away,
+// instead of at the remote receiver, milliseconds away.
+package relay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"incastproxy/internal/wire"
+)
+
+// Metrics exposes the relay's runtime counters; all fields are updated
+// atomically and safe to read concurrently.
+type Metrics struct {
+	AcceptedConns atomic.Uint64
+	ActiveConns   atomic.Int64
+	DialErrors    atomic.Uint64
+	BytesUpstream atomic.Uint64 // client -> target
+	BytesDownstr  atomic.Uint64 // target -> client
+}
+
+// Config parameterizes a relay Server.
+type Config struct {
+	// Dial opens connections to targets; defaults to a net.Dialer.
+	// Tests and the examples inject lan fabric dialers here.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// BufBytes sizes each splice buffer (default 64 KiB).
+	BufBytes int
+	// AllowTarget, if set, filters dialable targets (return false to
+	// refuse). Production deployments restrict the relay to the
+	// receiver datacenter's address space.
+	AllowTarget func(addr string) bool
+}
+
+// Server is a relay instance. Create with New, run with Serve.
+type Server struct {
+	cfg     Config
+	Metrics Metrics
+
+	mu       sync.Mutex
+	closed   bool
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// ErrTargetRefused reports a target rejected by AllowTarget.
+var ErrTargetRefused = errors.New("relay: target refused by policy")
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.Dial == nil {
+		var d net.Dialer
+		cfg.Dial = d.DialContext
+	}
+	if cfg.BufBytes <= 0 {
+		cfg.BufBytes = 64 << 10
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts relay clients on l until Close (or a fatal accept error).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return net.ErrClosed
+			}
+			return err
+		}
+		if !s.track(c) {
+			c.Close()
+			return net.ErrClosed
+		}
+		s.Metrics.AcceptedConns.Add(1)
+		s.Metrics.ActiveConns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.Metrics.ActiveConns.Add(-1)
+			defer s.untrack(c)
+			s.handle(c)
+		}()
+	}
+}
+
+// Close stops accepting and closes every active connection, then waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// handle runs one relayed connection to completion.
+func (s *Server) handle(client net.Conn) {
+	defer client.Close()
+	target, err := readDial(client)
+	if err != nil {
+		writeError(client, err)
+		return
+	}
+	if s.cfg.AllowTarget != nil && !s.cfg.AllowTarget(target) {
+		s.Metrics.DialErrors.Add(1)
+		writeError(client, ErrTargetRefused)
+		return
+	}
+	remote, err := s.cfg.Dial(context.Background(), "tcp", target)
+	if err != nil {
+		s.Metrics.DialErrors.Add(1)
+		writeError(client, err)
+		return
+	}
+	defer remote.Close()
+	if _, err := client.Write(wire.Marshal(wire.Header{Kind: wire.KindDialOK})); err != nil {
+		return
+	}
+	s.splice(client, remote)
+}
+
+// splice copies bytes both ways until both directions finish.
+func (s *Server) splice(client, remote net.Conn) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n := copyDirection(remote, client, s.cfg.BufBytes)
+		s.Metrics.BytesUpstream.Add(uint64(n))
+	}()
+	go func() {
+		defer wg.Done()
+		n := copyDirection(client, remote, s.cfg.BufBytes)
+		s.Metrics.BytesDownstr.Add(uint64(n))
+	}()
+	wg.Wait()
+}
+
+// copyDirection streams src->dst, half-closing dst when src ends, and
+// fully closing both on error so the opposite direction unblocks.
+func copyDirection(dst, src net.Conn, bufBytes int) int64 {
+	buf := make([]byte, bufBytes)
+	n, err := io.CopyBuffer(dst, src, buf)
+	if err != nil {
+		dst.Close()
+		src.Close()
+		return n
+	}
+	if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	} else {
+		dst.Close()
+	}
+	return n
+}
+
+// readDial consumes the client's dial preamble and returns the target.
+func readDial(c net.Conn) (string, error) {
+	hdr := make([]byte, wire.HeaderSize)
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		return "", fmt.Errorf("relay: reading dial header: %w", err)
+	}
+	h, err := wire.Parse(hdr)
+	if err != nil {
+		return "", err
+	}
+	if h.Kind != wire.KindDial {
+		return "", fmt.Errorf("relay: expected DIAL, got %v", h.Kind)
+	}
+	if h.Length == 0 || h.Length > 1024 {
+		return "", fmt.Errorf("relay: bad target length %d", h.Length)
+	}
+	target := make([]byte, h.Length)
+	if _, err := io.ReadFull(c, target); err != nil {
+		return "", fmt.Errorf("relay: reading target: %w", err)
+	}
+	return string(target), nil
+}
+
+// writeError best-effort reports a failure to the client.
+func writeError(c net.Conn, err error) {
+	msg := []byte(err.Error())
+	if len(msg) > 1024 {
+		msg = msg[:1024]
+	}
+	buf := wire.AppendHeader(nil, wire.Header{Kind: wire.KindError, Length: uint32(len(msg))})
+	c.Write(append(buf, msg...))
+}
+
+// DialViaRelay opens a client connection through the relay at relayAddr to
+// target, performing the preamble handshake. The returned conn carries the
+// end-to-end byte stream.
+func DialViaRelay(ctx context.Context,
+	dial func(ctx context.Context, network, addr string) (net.Conn, error),
+	relayAddr, target string) (net.Conn, error) {
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	c, err := dial(ctx, "tcp", relayAddr)
+	if err != nil {
+		return nil, err
+	}
+	pre := wire.AppendHeader(nil, wire.Header{Kind: wire.KindDial, Length: uint32(len(target))})
+	pre = append(pre, target...)
+	if _, err := c.Write(pre); err != nil {
+		c.Close()
+		return nil, err
+	}
+	hdr := make([]byte, wire.HeaderSize)
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("relay: reading dial response: %w", err)
+	}
+	h, err := wire.Parse(hdr)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	switch h.Kind {
+	case wire.KindDialOK:
+		return c, nil
+	case wire.KindError:
+		msg := make([]byte, h.Length)
+		io.ReadFull(c, msg)
+		c.Close()
+		return nil, fmt.Errorf("relay: %s", msg)
+	default:
+		c.Close()
+		return nil, fmt.Errorf("relay: unexpected response %v", h.Kind)
+	}
+}

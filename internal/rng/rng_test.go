@@ -1,0 +1,233 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"incastproxy/internal/units"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children look correlated: %d/64 equal draws", same)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	src := New(5)
+	p := src.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(6)
+	for i := 0; i < 1000; i++ {
+		if v := src.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+	}
+	if src.Intn(3) < 0 || src.Intn(3) > 2 {
+		t.Fatal("Intn out of range")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{D: 5 * units.Microsecond}
+	if d.Sample(New(1)) != 5*units.Microsecond || d.Mean() != 5*units.Microsecond {
+		t.Fatal("constant distribution broken")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	src := New(3)
+	u := Uniform{Low: 10, High: 20}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(src)
+		if v < 10 || v > 20 {
+			t.Fatalf("uniform sample %v out of [10,20]", v)
+		}
+	}
+	if u.Mean() != 15 {
+		t.Fatalf("uniform mean = %v", u.Mean())
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	u := Uniform{Low: 10, High: 10}
+	if u.Sample(New(1)) != 10 {
+		t.Fatal("degenerate uniform should return Low")
+	}
+}
+
+func TestNormalNonNegative(t *testing.T) {
+	src := New(9)
+	n := Normal{Mu: 10, Sigma: 100}
+	for i := 0; i < 5000; i++ {
+		if n.Sample(src) < 0 {
+			t.Fatal("normal must truncate at zero")
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	src := New(11)
+	ln := LogNormal{Median: units.Duration(420 * units.Nanosecond), Sigma: 0.5}
+	var s []float64
+	for i := 0; i < 20000; i++ {
+		s = append(s, float64(ln.Sample(src)))
+	}
+	// Empirical median should be within 5% of the configured median.
+	med := median(s)
+	want := float64(420 * units.Nanosecond)
+	if math.Abs(med-want)/want > 0.05 {
+		t.Fatalf("lognormal empirical median %v, want ~%v", med, want)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	src := New(13)
+	e := Exponential{MeanD: units.Duration(100)}
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(e.Sample(src))
+	}
+	got := sum / n
+	if math.Abs(got-100)/100 > 0.05 {
+		t.Fatalf("exponential empirical mean %v, want ~100", got)
+	}
+}
+
+func TestShifted(t *testing.T) {
+	s := Shifted{Base: Constant{D: 5}, Offset: 7}
+	if s.Sample(New(1)) != 12 || s.Mean() != 12 {
+		t.Fatal("shifted distribution broken")
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	src := New(17)
+	m := Mixture{Components: []Component{
+		{Weight: 0.9, Dist: Constant{D: 1}},
+		{Weight: 0.1, Dist: Constant{D: 1000}},
+	}}
+	fast := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.Sample(src) == 1 {
+			fast++
+		}
+	}
+	frac := float64(fast) / n
+	if frac < 0.87 || frac > 0.93 {
+		t.Fatalf("fast-path fraction %v, want ~0.9", frac)
+	}
+	wantMean := 0.9*1 + 0.1*1000
+	if math.Abs(float64(m.Mean())-wantMean) > 1 {
+		t.Fatalf("mixture mean %v, want ~%v", m.Mean(), wantMean)
+	}
+}
+
+func TestMixtureEmpty(t *testing.T) {
+	var m Mixture
+	if m.Sample(New(1)) != 0 || m.Mean() != 0 {
+		t.Fatal("empty mixture should sample 0")
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	e := Empirical{Values: []units.Duration{1, 2, 3}}
+	src := New(21)
+	seen := map[units.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		v := e.Sample(src)
+		if v < 1 || v > 3 {
+			t.Fatalf("empirical sample %v not in source values", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("empirical did not cover all values: %v", seen)
+	}
+	if e.Mean() != 2 {
+		t.Fatalf("empirical mean = %v, want 2", e.Mean())
+	}
+	var empty Empirical
+	if empty.Sample(src) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty empirical should sample 0")
+	}
+}
+
+// Property: every distribution in the package returns non-negative samples.
+func TestPropertyNonNegativeSamples(t *testing.T) {
+	dists := []Distribution{
+		Constant{D: 3},
+		Uniform{Low: 0, High: 50},
+		Normal{Mu: 5, Sigma: 50},
+		LogNormal{Median: 100, Sigma: 2},
+		Exponential{MeanD: 30},
+		Shifted{Base: Exponential{MeanD: 10}, Offset: 2},
+		Mixture{Components: []Component{{1, Constant{D: 4}}, {1, Normal{Mu: 1, Sigma: 10}}}},
+		Empirical{Values: []units.Duration{0, 5, 9}},
+	}
+	f := func(seed int64) bool {
+		src := New(seed)
+		for _, d := range dists {
+			for i := 0; i < 32; i++ {
+				if d.Sample(src) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, d := range []Distribution{
+		Constant{D: 1}, Uniform{1, 2}, Normal{1, 2}, LogNormal{1, 0.5},
+		Exponential{1}, Shifted{Constant{1}, 2}, Mixture{}, Empirical{},
+	} {
+		if d.String() == "" {
+			t.Fatalf("%T has empty String()", d)
+		}
+	}
+}
+
+func median(s []float64) float64 {
+	cp := append([]float64(nil), s...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}

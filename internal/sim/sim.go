@@ -1,0 +1,200 @@
+// Package sim implements the discrete-event simulation engine underneath the
+// packet-level network simulator. It is a minimal htsim-style core: a
+// priority queue of timestamped events, a logical clock, and reusable timers.
+//
+// Events scheduled for the same instant run in scheduling order (FIFO),
+// which keeps runs deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"incastproxy/internal/units"
+)
+
+// Event is a deferred callback. Handlers receive the engine so they can
+// schedule follow-up work.
+type Event func(*Engine)
+
+type scheduledEvent struct {
+	at     units.Time
+	seq    uint64
+	fn     Event
+	cancel *bool // non-nil when cancellable; true means skip
+	index  int
+}
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// one with New.
+type Engine struct {
+	now       units.Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at the absolute time at. Scheduling in the past panics:
+// it always indicates a simulator bug.
+func (e *Engine) Schedule(at units.Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &scheduledEvent{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn after delay d.
+func (e *Engine) After(d units.Duration, fn Event) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now.Add(d), fn)
+}
+
+// Stop halts Run/RunUntil after the current event returns. Remaining events
+// stay queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final simulated time.
+func (e *Engine) Run() units.Time { return e.RunUntil(units.MaxTime) }
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock does not advance past the
+// last executed event (or the deadline if no event ran at it).
+func (e *Engine) RunUntil(deadline units.Time) units.Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.cancel != nil && *next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		next.fn(e)
+	}
+	return e.now
+}
+
+// Step executes exactly one event if any is pending, reporting whether one
+// ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.events).(*scheduledEvent)
+	if next.cancel != nil && *next.cancel {
+		return e.Step()
+	}
+	e.now = next.at
+	e.processed++
+	next.fn(e)
+	return true
+}
+
+// Timer is a cancellable, re-armable one-shot timer, used for transport
+// retransmission timeouts. The zero value is an unarmed timer.
+type Timer struct {
+	engine  *Engine
+	fn      Event
+	cancel  *bool
+	dueAt   units.Time
+	pending bool
+}
+
+// NewTimer returns a timer that runs fn when it fires.
+func NewTimer(e *Engine, fn Event) *Timer {
+	return &Timer{engine: e, fn: fn}
+}
+
+// Arm (re)schedules the timer to fire at the absolute time at, replacing any
+// earlier schedule.
+func (t *Timer) Arm(at units.Time) {
+	t.Cancel()
+	flag := new(bool)
+	t.cancel = flag
+	t.dueAt = at
+	t.pending = true
+	t.engine.seq++
+	heap.Push(&t.engine.events, &scheduledEvent{
+		at:     at,
+		seq:    t.engine.seq,
+		cancel: flag,
+		fn: func(e *Engine) {
+			t.pending = false
+			t.fn(e)
+		},
+	})
+}
+
+// ArmAfter (re)schedules the timer to fire after d.
+func (t *Timer) ArmAfter(d units.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.Arm(t.engine.Now().Add(d))
+}
+
+// Cancel disarms the timer if pending.
+func (t *Timer) Cancel() {
+	if t.cancel != nil {
+		*t.cancel = true
+		t.cancel = nil
+	}
+	t.pending = false
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.pending }
+
+// DueAt returns the time the timer is armed for; meaningful only when
+// Pending.
+func (t *Timer) DueAt() units.Time { return t.dueAt }

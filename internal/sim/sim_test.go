@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"incastproxy/internal/units"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var got []units.Time
+	times := []units.Duration{5, 1, 3, 2, 4}
+	for _, d := range times {
+		d := d
+		e.Schedule(units.Time(d), func(e *Engine) { got = append(got, e.Now()) })
+	}
+	e.Run()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if len(got) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulingDuringRun(t *testing.T) {
+	e := New()
+	count := 0
+	var step Event
+	step = func(e *Engine) {
+		count++
+		if count < 100 {
+			e.After(10, step)
+		}
+	}
+	e.After(0, step)
+	end := e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if end != units.Time(99*10) {
+		t.Fatalf("end time = %v, want 990ps", end)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := New()
+	ran := 0
+	e.Schedule(10, func(*Engine) { ran++ })
+	e.Schedule(20, func(*Engine) { ran++ })
+	e.Schedule(30, func(*Engine) { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3 after full Run", ran)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(50, func(*Engine) {})
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	ran := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(units.Time(i), func(e *Engine) {
+			ran++
+			if ran == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+	// A later Run resumes.
+	e.Run()
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10", ran)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	ran := 0
+	e.Schedule(1, func(*Engine) { ran++ })
+	e.Schedule(2, func(*Engine) { ran++ })
+	if !e.Step() || ran != 1 {
+		t.Fatal("first Step should run one event")
+	}
+	if !e.Step() || ran != 2 {
+		t.Fatal("second Step should run one event")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func TestTimerRearmAndCancel(t *testing.T) {
+	e := New()
+	fired := 0
+	tm := NewTimer(e, func(*Engine) { fired++ })
+	tm.ArmAfter(100)
+	tm.ArmAfter(200) // replaces the first schedule
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (re-arm must supersede)", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("now = %v, want 200ps", e.Now())
+	}
+
+	tm.ArmAfter(50)
+	tm.Cancel()
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d after cancel, want 1", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("cancelled timer must not be pending")
+	}
+}
+
+func TestTimerPendingAndDueAt(t *testing.T) {
+	e := New()
+	tm := NewTimer(e, func(*Engine) {})
+	tm.Arm(500)
+	if !tm.Pending() || tm.DueAt() != 500 {
+		t.Fatalf("pending=%v dueAt=%v", tm.Pending(), tm.DueAt())
+	}
+	e.Run()
+	if tm.Pending() {
+		t.Fatal("fired timer must not be pending")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 25; i++ {
+		e.Schedule(units.Time(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Processed() != 25 {
+		t.Fatalf("processed = %d, want 25", e.Processed())
+	}
+}
+
+// Property: for any random batch of timestamps, execution order equals the
+// sorted order of those timestamps.
+func TestPropertyHeapOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		count := int(n%64) + 1
+		times := make([]int64, count)
+		var got []int64
+		for i := range times {
+			times[i] = r.Int63n(1_000_000)
+			at := units.Time(times[i])
+			e.Schedule(at, func(e *Engine) { got = append(got, int64(e.Now())) })
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		e.Run()
+		if len(got) != count {
+			return false
+		}
+		for i := range got {
+			if got[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(units.Duration(i%1000), func(*Engine) {})
+		if e.Pending() > 1024 {
+			e.RunUntil(e.Now().Add(500))
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkTimerRearm(b *testing.B) {
+	e := New()
+	tm := NewTimer(e, func(*Engine) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.ArmAfter(units.Duration(100 + i%10))
+		if i%1024 == 0 {
+			e.RunUntil(e.Now()) // drain cancelled entries lazily
+		}
+	}
+	tm.Cancel()
+	e.Run()
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"incastproxy/internal/units"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("Median = %v", s.Median())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	// p50 over 4 values with linear interpolation: rank 1.5 -> 25.
+	if got := s.Percentile(50); got != 25 {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 40 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	// Known sample stddev ~2.138.
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("Stddev = %v", got)
+	}
+}
+
+func TestAddAfterSortStaysCorrect(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	_ = s.Min() // forces a sort
+	s.Add(1)    // must invalidate sorted state
+	if s.Min() != 1 {
+		t.Fatal("Add after sort lost ordering invalidation")
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.AddDuration(units.Duration(i) * units.Microsecond)
+	}
+	sum := SummarizeDurations(&s)
+	if sum.N != 100 || sum.Min != units.Microsecond || sum.Max != 100*units.Microsecond {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.P50 < 50*units.Microsecond || sum.P50 > 51*units.Microsecond {
+		t.Fatalf("P50 = %v", sum.P50)
+	}
+	if sum.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 1000; i++ {
+		c.Observe(units.Duration(i))
+	}
+	if c.N() != 1000 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.At(500); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("At(500) = %v", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(2000); got != 1 {
+		t.Fatalf("At(2000) = %v", got)
+	}
+	if q := c.Quantile(0.99); q < 985 || q > 995 {
+		t.Fatalf("Quantile(0.99) = %v", q)
+	}
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	if pts[0].Prob != 0 || pts[10].Prob != 1 {
+		t.Fatalf("endpoints wrong: %+v %+v", pts[0], pts[10])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Latency < pts[i-1].Latency {
+			t.Fatal("CDF points must be non-decreasing")
+		}
+	}
+	if c.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.Points(5) != nil || c.At(10) != 0 {
+		t.Fatal("empty CDF should be inert")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var r RunStats
+	for _, d := range []units.Duration{10, 20, 30} {
+		r.Add(d * units.Millisecond)
+	}
+	if r.Avg() != 20*units.Millisecond || r.Min() != 10*units.Millisecond || r.Max() != 30*units.Millisecond {
+		t.Fatalf("RunStats = %v", r.String())
+	}
+	if r.N() != 3 {
+		t.Fatalf("N = %d", r.N())
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(100, 25); got != 0.75 {
+		t.Fatalf("Reduction = %v, want 0.75", got)
+	}
+	if got := Reduction(0, 5); got != 0 {
+		t.Fatalf("Reduction with zero base = %v", got)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by [Min, Max].
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pa := math.Abs(math.Mod(a, 100))
+		pb := math.Abs(math.Mod(b, 100))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		qa, qb := s.Percentile(pa), s.Percentile(pb)
+		return qa <= qb && qa >= s.Min() && qb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF.At(Quantile(q)) >= q for all observed q.
+func TestPropertyCDFQuantileConsistency(t *testing.T) {
+	f := func(raw []uint16, q uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var c CDF
+		for _, v := range raw {
+			c.Observe(units.Duration(v))
+		}
+		qq := float64(q%101) / 100
+		return c.At(c.Quantile(qq)) >= qq-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Values() returns a sorted permutation of the inputs.
+func TestPropertyValuesSorted(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				s.Add(v)
+				clean = append(clean, v)
+			}
+		}
+		got := s.Values()
+		if !sort.Float64sAreSorted(got) {
+			return false
+		}
+		return len(got) == len(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

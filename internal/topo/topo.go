@@ -1,0 +1,338 @@
+// Package topo builds the simulated fabrics the paper evaluates on: two
+// leaf-spine datacenters (8 spines x 8 leaves x 8 servers each, §4.1)
+// joined by 64 backbone routers, with every link 100 Gb/s. Intra-datacenter
+// links have 1 us propagation delay; the long-haul spine<->backbone links
+// default to 1 ms and are the variable Figure 3 sweeps.
+//
+// The package also computes shortest-path ECMP forwarding tables for every
+// host, which the switches spray packets across (§4.1 uses packet spraying).
+package topo
+
+import (
+	"fmt"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/rng"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+// Config describes the fabric. DefaultConfig returns the paper's §4.1
+// parameters; tests use smaller instances.
+type Config struct {
+	// Per-datacenter leaf-spine dimensions.
+	Spines, Leaves, ServersPerLeaf int
+	// Backbones is the number of long-haul routers between the DCs;
+	// each spine connects to BackbonesPerSpine of them.
+	Backbones, BackbonesPerSpine int
+
+	LinkRate units.BitRate
+	// IntraDelay is the propagation delay of every in-DC link.
+	IntraDelay units.Duration
+	// InterDelay is the propagation delay of each spine<->backbone link
+	// (the "long-haul link latency" of Figure 3).
+	InterDelay units.Duration
+
+	// TorQueue configures leaf and spine egress queues; BackboneQueue
+	// configures backbone-router egress queues; HostQueue configures
+	// host NIC egress (unbounded by default: host memory).
+	TorQueue, BackboneQueue, HostQueue netsim.QueueConfig
+
+	// TrimDC enables packet trimming on the switches of each DC
+	// (overriding the queue configs' Trim field). The streamlined proxy
+	// scheme trims in the sending datacenter.
+	TrimDC [2]bool
+
+	// Spray selects per-packet ECMP spraying (true, §4.1) or per-flow
+	// hashing (false).
+	Spray bool
+
+	// Seed drives every random choice in the fabric.
+	Seed int64
+}
+
+// DefaultConfig returns the exact §4.1 simulation setup.
+func DefaultConfig() Config {
+	return Config{
+		Spines:            8,
+		Leaves:            8,
+		ServersPerLeaf:    8,
+		Backbones:         64,
+		BackbonesPerSpine: 8,
+		LinkRate:          100 * units.Gbps,
+		IntraDelay:        units.Microsecond,
+		InterDelay:        units.Millisecond,
+		TorQueue: netsim.QueueConfig{
+			Capacity: 17_015_000, // 17.015 MB
+			MarkLow:  33_200,     // 33.2 KB
+			MarkHigh: 136_950,    // 136.95 KB
+		},
+		BackboneQueue: netsim.QueueConfig{
+			Capacity: 49_800_000, // 49.8 MB
+			MarkLow:  9_960_000,  // 9.96 MB
+			MarkHigh: 39_840_000, // 39.84 MB
+		},
+		HostQueue: netsim.QueueConfig{}, // unbounded, unmarked
+		Spray:     true,
+		Seed:      1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Spines <= 0 || c.Leaves <= 0 || c.ServersPerLeaf <= 0:
+		return fmt.Errorf("topo: dimensions must be positive: %+v", c)
+	case c.Backbones > 0 && c.BackbonesPerSpine <= 0:
+		return fmt.Errorf("topo: BackbonesPerSpine must be positive when Backbones > 0")
+	case c.Backbones > 0 && c.Spines*c.BackbonesPerSpine != c.Backbones:
+		return fmt.Errorf("topo: need Spines*BackbonesPerSpine == Backbones (%d*%d != %d)",
+			c.Spines, c.BackbonesPerSpine, c.Backbones)
+	case c.LinkRate <= 0:
+		return fmt.Errorf("topo: LinkRate must be positive")
+	}
+	return nil
+}
+
+// Network is a built fabric attached to a simulation engine.
+type Network struct {
+	Cfg    Config
+	Engine *sim.Engine
+
+	// Hosts[dc][leaf*ServersPerLeaf+i] is a server in datacenter dc.
+	Hosts     [2][]*netsim.Host
+	Leaves    [2][]*netsim.Switch
+	Spines    [2][]*netsim.Switch
+	Backbones []*netsim.Switch
+
+	nodes  map[netsim.NodeID]netsim.Node
+	pktIDs uint64
+	nextID netsim.NodeID
+}
+
+// Build constructs the two-DC fabric. It panics on invalid configuration
+// (construction errors are programmer errors, not runtime conditions).
+func Build(e *sim.Engine, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{Cfg: cfg, Engine: e, nodes: make(map[netsim.NodeID]netsim.Node)}
+	src := rng.New(cfg.Seed)
+
+	for dc := 0; dc < 2; dc++ {
+		tor := cfg.TorQueue
+		tor.Trim = cfg.TrimDC[dc]
+		for l := 0; l < cfg.Leaves; l++ {
+			sw := netsim.NewSwitch(n.allocID(), fmt.Sprintf("dc%d/leaf%d", dc, l), src.Split(int64(dc*1000+l)), cfg.Spray)
+			n.register(sw)
+			n.Leaves[dc] = append(n.Leaves[dc], sw)
+		}
+		for s := 0; s < cfg.Spines; s++ {
+			sw := netsim.NewSwitch(n.allocID(), fmt.Sprintf("dc%d/spine%d", dc, s), src.Split(int64(dc*1000+100+s)), cfg.Spray)
+			n.register(sw)
+			n.Spines[dc] = append(n.Spines[dc], sw)
+		}
+		for l := 0; l < cfg.Leaves; l++ {
+			for i := 0; i < cfg.ServersPerLeaf; i++ {
+				h := netsim.NewHost(n.allocID(), fmt.Sprintf("dc%d/h%d", dc, l*cfg.ServersPerLeaf+i), &n.pktIDs)
+				n.register(h)
+				n.Hosts[dc] = append(n.Hosts[dc], h)
+				// Host <-> leaf: leaf egress uses the ToR queue
+				// (with this DC's trim setting); host egress is
+				// the NIC queue.
+				netsim.Connect(h, n.Leaves[dc][l], cfg.LinkRate, cfg.IntraDelay, cfg.HostQueue, tor, src)
+			}
+		}
+		// Full leaf<->spine bipartite mesh.
+		for l := 0; l < cfg.Leaves; l++ {
+			for s := 0; s < cfg.Spines; s++ {
+				netsim.Connect(n.Leaves[dc][l], n.Spines[dc][s], cfg.LinkRate, cfg.IntraDelay, tor, tor, src)
+			}
+		}
+	}
+
+	// Backbone routers: backbone b connects spine b/BackbonesPerSpine in
+	// each DC over the long-haul links.
+	for b := 0; b < cfg.Backbones; b++ {
+		bb := netsim.NewSwitch(n.allocID(), fmt.Sprintf("bb%d", b), src.Split(int64(5000+b)), cfg.Spray)
+		n.register(bb)
+		n.Backbones = append(n.Backbones, bb)
+		s := b / cfg.BackbonesPerSpine
+		for dc := 0; dc < 2; dc++ {
+			tor := cfg.TorQueue
+			tor.Trim = cfg.TrimDC[dc]
+			netsim.Connect(n.Spines[dc][s], bb, cfg.LinkRate, cfg.InterDelay, tor, cfg.BackboneQueue, src)
+		}
+	}
+
+	n.computeFIBs()
+	return n
+}
+
+func (n *Network) allocID() netsim.NodeID {
+	n.nextID++
+	return n.nextID
+}
+
+func (n *Network) register(node netsim.Node) { n.nodes[node.ID()] = node }
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id netsim.NodeID) netsim.Node { return n.nodes[id] }
+
+// Host returns server idx under leaf in datacenter dc.
+func (n *Network) Host(dc, leaf, idx int) *netsim.Host {
+	return n.Hosts[dc][leaf*n.Cfg.ServersPerLeaf+idx]
+}
+
+// computeFIBs installs shortest-path ECMP routes toward every host on every
+// switch via breadth-first search from each host.
+func (n *Network) computeFIBs() {
+	adj := n.adjacency()
+	for dc := 0; dc < 2; dc++ {
+		for _, h := range n.Hosts[dc] {
+			dist := bfs(h.ID(), adj)
+			for id, node := range n.nodes {
+				sw, ok := node.(*netsim.Switch)
+				if !ok {
+					continue
+				}
+				d, reachable := dist[id]
+				if !reachable {
+					continue
+				}
+				for _, p := range sw.Ports() {
+					peer := p.Peer().Owner().ID()
+					if pd, ok := dist[peer]; ok && pd == d-1 {
+						sw.AddRoute(h.ID(), p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// adjacency maps each node to its neighbors.
+func (n *Network) adjacency() map[netsim.NodeID][]netsim.NodeID {
+	adj := make(map[netsim.NodeID][]netsim.NodeID, len(n.nodes))
+	addPorts := func(id netsim.NodeID, ports []*netsim.Port) {
+		for _, p := range ports {
+			adj[id] = append(adj[id], p.Peer().Owner().ID())
+		}
+	}
+	for id, node := range n.nodes {
+		switch v := node.(type) {
+		case *netsim.Switch:
+			addPorts(id, v.Ports())
+		case *netsim.Host:
+			if v.NIC() != nil {
+				addPorts(id, []*netsim.Port{v.NIC()})
+			}
+		}
+	}
+	return adj
+}
+
+// bfs returns hop distances from root.
+func bfs(root netsim.NodeID, adj map[netsim.NodeID][]netsim.NodeID) map[netsim.NodeID]int {
+	dist := map[netsim.NodeID]int{root: 0}
+	frontier := []netsim.NodeID{root}
+	for len(frontier) > 0 {
+		var next []netsim.NodeID
+		for _, u := range frontier {
+			for _, v := range adj[u] {
+				if _, seen := dist[v]; !seen {
+					dist[v] = dist[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// PathRTT estimates the round-trip time between hosts a and b for a data
+// packet of size fwd answered by a control packet of size rev: the sum over
+// one shortest path of propagation delays plus per-hop serialization, in
+// both directions. Transports use it to size initial windows (IW = 1 BDP,
+// §4.1) and initial RTOs.
+func (n *Network) PathRTT(a, b *netsim.Host, fwd, rev units.ByteSize) units.Duration {
+	links := n.pathLinks(a, b)
+	var rtt units.Duration
+	for _, l := range links {
+		rtt += 2*l.delay + l.rate.TransmitTime(fwd) + l.rate.TransmitTime(rev)
+	}
+	return rtt
+}
+
+// BottleneckRate returns the minimum link rate on a shortest path between a
+// and b.
+func (n *Network) BottleneckRate(a, b *netsim.Host) units.BitRate {
+	links := n.pathLinks(a, b)
+	if len(links) == 0 {
+		return 0
+	}
+	minRate := links[0].rate
+	for _, l := range links[1:] {
+		if l.rate < minRate {
+			minRate = l.rate
+		}
+	}
+	return minRate
+}
+
+type linkInfo struct {
+	rate  units.BitRate
+	delay units.Duration
+}
+
+// pathLinks returns the links along one shortest path from a to b.
+func (n *Network) pathLinks(a, b *netsim.Host) []linkInfo {
+	if a == b {
+		return nil
+	}
+	adj := n.adjacency()
+	dist := bfs(b.ID(), adj)
+	var links []linkInfo
+	cur := netsim.Node(a)
+	for cur.ID() != b.ID() {
+		var ports []*netsim.Port
+		switch v := cur.(type) {
+		case *netsim.Host:
+			ports = []*netsim.Port{v.NIC()}
+		case *netsim.Switch:
+			ports = v.Ports()
+		}
+		var step *netsim.Port
+		d := dist[cur.ID()]
+		for _, p := range ports {
+			if pd, ok := dist[p.Peer().Owner().ID()]; ok && pd == d-1 {
+				step = p
+				break
+			}
+		}
+		if step == nil {
+			return nil // unreachable
+		}
+		links = append(links, linkInfo{rate: step.Rate(), delay: step.Delay()})
+		cur = step.Peer().Owner()
+	}
+	return links
+}
+
+// Switches returns every switch (leaves, spines, backbones) for telemetry
+// sweeps.
+func (n *Network) Switches() []*netsim.Switch {
+	var out []*netsim.Switch
+	for dc := 0; dc < 2; dc++ {
+		out = append(out, n.Leaves[dc]...)
+		out = append(out, n.Spines[dc]...)
+	}
+	return append(out, n.Backbones...)
+}
+
+// DownToRPort returns the leaf egress port feeding host h — the "down-ToR"
+// link where the paper locates the congestion bottleneck (Figure 1).
+func (n *Network) DownToRPort(h *netsim.Host) *netsim.Port {
+	return h.NIC().Peer()
+}

@@ -1,0 +1,327 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+// smallConfig is a 2x2x2 fabric with 4 backbones for fast tests.
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.Spines, c.Leaves, c.ServersPerLeaf = 2, 2, 2
+	c.Backbones, c.BackbonesPerSpine = 4, 2
+	return c
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.Spines != 8 || c.Leaves != 8 || c.ServersPerLeaf != 8 {
+		t.Fatalf("leaf-spine dims: %+v", c)
+	}
+	if c.Backbones != 64 || c.BackbonesPerSpine != 8 {
+		t.Fatalf("backbone dims: %+v", c)
+	}
+	if c.LinkRate != 100*units.Gbps {
+		t.Fatalf("link rate %v", c.LinkRate)
+	}
+	if c.IntraDelay != units.Microsecond || c.InterDelay != units.Millisecond {
+		t.Fatalf("delays %v/%v", c.IntraDelay, c.InterDelay)
+	}
+	if c.TorQueue.Capacity != 17_015_000 || c.TorQueue.MarkLow != 33_200 || c.TorQueue.MarkHigh != 136_950 {
+		t.Fatalf("tor queue %+v", c.TorQueue)
+	}
+	if c.BackboneQueue.Capacity != 49_800_000 || c.BackboneQueue.MarkLow != 9_960_000 || c.BackboneQueue.MarkHigh != 39_840_000 {
+		t.Fatalf("backbone queue %+v", c.BackboneQueue)
+	}
+	if !c.Spray {
+		t.Fatal("paper uses packet spraying")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Spines = 0 },
+		func(c *Config) { c.Leaves = -1 },
+		func(c *Config) { c.ServersPerLeaf = 0 },
+		func(c *Config) { c.BackbonesPerSpine = 0 },
+		func(c *Config) { c.Backbones = 63 }, // not Spines*BackbonesPerSpine
+		func(c *Config) { c.LinkRate = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBuildCounts(t *testing.T) {
+	n := Build(sim.New(), smallConfig())
+	for dc := 0; dc < 2; dc++ {
+		if len(n.Hosts[dc]) != 4 || len(n.Leaves[dc]) != 2 || len(n.Spines[dc]) != 2 {
+			t.Fatalf("dc%d counts: hosts=%d leaves=%d spines=%d",
+				dc, len(n.Hosts[dc]), len(n.Leaves[dc]), len(n.Spines[dc]))
+		}
+	}
+	if len(n.Backbones) != 4 {
+		t.Fatalf("backbones = %d", len(n.Backbones))
+	}
+	if len(n.Switches()) != 2*(2+2)+4 {
+		t.Fatalf("switches = %d", len(n.Switches()))
+	}
+}
+
+func TestBuildPaperScale(t *testing.T) {
+	n := Build(sim.New(), DefaultConfig())
+	if len(n.Hosts[0]) != 64 || len(n.Hosts[1]) != 64 {
+		t.Fatalf("hosts: %d/%d", len(n.Hosts[0]), len(n.Hosts[1]))
+	}
+	if len(n.Backbones) != 64 {
+		t.Fatalf("backbones: %d", len(n.Backbones))
+	}
+	// Every leaf must have ECMP routes to a remote host through all spines.
+	remote := n.Hosts[1][0]
+	routes := n.Leaves[0][0].Routes(remote.ID())
+	if len(routes) != 8 {
+		t.Fatalf("leaf ECMP set to remote host = %d ports, want 8 spines", len(routes))
+	}
+	// Every spine reaches a remote host via its 8 backbones.
+	routes = n.Spines[0][0].Routes(remote.ID())
+	if len(routes) != 8 {
+		t.Fatalf("spine ECMP set = %d, want 8 backbones", len(routes))
+	}
+}
+
+func TestIntraDCDelivery(t *testing.T) {
+	e := sim.New()
+	n := Build(e, smallConfig())
+	src, dst := n.Hosts[0][0], n.Hosts[0][3] // different leaves
+	var got *netsim.Packet
+	var at units.Time
+	dst.Bind(1, netsim.EndpointFunc(func(e *sim.Engine, p *netsim.Packet) {
+		got, at = p, e.Now()
+	}))
+	pkt := src.NewPacket()
+	pkt.Flow = 1
+	pkt.Kind = netsim.Data
+	pkt.Size = 1500
+	pkt.FullSize = 1500
+	pkt.Dst = dst.ID()
+	src.Send(e, pkt)
+	e.Run()
+	if got == nil {
+		t.Fatal("packet not delivered intra-DC")
+	}
+	// 4 hops (h->leaf->spine->leaf->h), each 1us + 120ns serialization.
+	want := units.Time(0).Add(4 * (units.Microsecond + 120*units.Nanosecond))
+	if at != want {
+		t.Fatalf("arrival %v, want %v", at, want)
+	}
+	if got.Hops != 3 {
+		t.Fatalf("hops = %d, want 3 switches", got.Hops)
+	}
+}
+
+func TestInterDCDelivery(t *testing.T) {
+	e := sim.New()
+	n := Build(e, smallConfig())
+	src, dst := n.Hosts[0][0], n.Hosts[1][0]
+	var at units.Time
+	delivered := false
+	dst.Bind(1, netsim.EndpointFunc(func(e *sim.Engine, p *netsim.Packet) {
+		delivered, at = true, e.Now()
+	}))
+	pkt := src.NewPacket()
+	pkt.Flow = 1
+	pkt.Kind = netsim.Data
+	pkt.Size = 1500
+	pkt.FullSize = 1500
+	pkt.Dst = dst.ID()
+	src.Send(e, pkt)
+	e.Run()
+	if !delivered {
+		t.Fatal("packet not delivered inter-DC")
+	}
+	// Path: h->leaf(1us)->spine(1us)->bb(1ms)->spine(1ms)->leaf(1us)->h(1us):
+	// 4x1us + 2x1ms + 6x120ns serialization.
+	want := units.Time(0).Add(4*units.Microsecond + 2*units.Millisecond + 6*120*units.Nanosecond)
+	if at != want {
+		t.Fatalf("arrival %v, want %v", at, want)
+	}
+}
+
+func TestPathRTTInterDC(t *testing.T) {
+	n := Build(sim.New(), smallConfig())
+	rtt := n.PathRTT(n.Hosts[0][0], n.Hosts[1][0], 1500, 64)
+	// Propagation: 2*(4us + 2ms); serialization: 6 hops * (120ns + 5.12ns).
+	min := 2 * (4*units.Microsecond + 2*units.Millisecond)
+	if rtt < min || rtt > min+10*units.Microsecond {
+		t.Fatalf("inter-DC RTT = %v, want just above %v", rtt, min)
+	}
+}
+
+func TestPathRTTIntraDC(t *testing.T) {
+	n := Build(sim.New(), smallConfig())
+	rtt := n.PathRTT(n.Hosts[0][0], n.Hosts[0][3], 1500, 64)
+	min := 2 * 4 * units.Microsecond
+	if rtt < min || rtt > min+5*units.Microsecond {
+		t.Fatalf("intra-DC RTT = %v, want just above %v", rtt, min)
+	}
+	if n.PathRTT(n.Hosts[0][0], n.Hosts[0][0], 1500, 64) != 0 {
+		t.Fatal("self RTT should be 0")
+	}
+}
+
+func TestBottleneckRate(t *testing.T) {
+	n := Build(sim.New(), smallConfig())
+	if r := n.BottleneckRate(n.Hosts[0][0], n.Hosts[1][0]); r != 100*units.Gbps {
+		t.Fatalf("bottleneck = %v", r)
+	}
+	if r := n.BottleneckRate(n.Hosts[0][0], n.Hosts[0][0]); r != 0 {
+		t.Fatalf("self bottleneck = %v", r)
+	}
+}
+
+func TestHostAccessor(t *testing.T) {
+	n := Build(sim.New(), smallConfig())
+	if n.Host(0, 1, 1) != n.Hosts[0][3] {
+		t.Fatal("Host(dc,leaf,idx) indexing wrong")
+	}
+	if n.Node(n.Hosts[0][0].ID()) != netsim.Node(n.Hosts[0][0]) {
+		t.Fatal("Node lookup wrong")
+	}
+}
+
+func TestDownToRPort(t *testing.T) {
+	n := Build(sim.New(), smallConfig())
+	h := n.Hosts[0][0]
+	p := n.DownToRPort(h)
+	if p.Peer().Owner() != netsim.Node(h) {
+		t.Fatal("down-ToR port must feed the host")
+	}
+	if _, ok := p.Owner().(*netsim.Switch); !ok {
+		t.Fatal("down-ToR port must belong to a leaf switch")
+	}
+}
+
+func TestTrimDCAppliesOnlyToThatDC(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TrimDC[0] = true
+	cfg.TorQueue.Capacity = 3000 // tiny, to force trims
+	e := sim.New()
+	n := Build(e, cfg)
+
+	// Flood a DC0 down-ToR from two senders (2x100G into 100G): expect
+	// trims, not drops.
+	dst := n.Hosts[0][0]
+	dst.SetCatchAll(netsim.EndpointFunc(func(*sim.Engine, *netsim.Packet) {}))
+	for _, src0 := range []*netsim.Host{n.Hosts[0][1], n.Hosts[0][2]} {
+		for i := 0; i < 100; i++ {
+			pkt := src0.NewPacket()
+			pkt.Kind = netsim.Data
+			pkt.Size = 1500
+			pkt.FullSize = 1500
+			pkt.Dst = dst.ID()
+			src0.Send(e, pkt)
+		}
+	}
+	e.Run()
+	trims, drops := fabricTrimsDrops(n, 0)
+	if trims == 0 {
+		t.Fatal("DC0 with TrimDC should trim on overflow")
+	}
+	if drops != 0 {
+		t.Fatalf("DC0 with TrimDC dropped %d data packets", drops)
+	}
+
+	// Flood a DC1 down-ToR the same way: expect drops, not trims.
+	dst1 := n.Hosts[1][0]
+	dst1.SetCatchAll(netsim.EndpointFunc(func(*sim.Engine, *netsim.Packet) {}))
+	for _, src1 := range []*netsim.Host{n.Hosts[1][1], n.Hosts[1][2]} {
+		for i := 0; i < 100; i++ {
+			pkt := src1.NewPacket()
+			pkt.Kind = netsim.Data
+			pkt.Size = 1500
+			pkt.FullSize = 1500
+			pkt.Dst = dst1.ID()
+			src1.Send(e, pkt)
+		}
+	}
+	e.Run()
+	trims, drops = fabricTrimsDrops(n, 1)
+	if trims != 0 {
+		t.Fatalf("DC1 without TrimDC trimmed %d", trims)
+	}
+	if drops == 0 {
+		t.Fatal("DC1 without TrimDC should drop on overflow")
+	}
+}
+
+func fabricTrimsDrops(n *Network, dc int) (trims, drops uint64) {
+	for _, sw := range append(append([]*netsim.Switch{}, n.Leaves[dc]...), n.Spines[dc]...) {
+		for _, p := range sw.Ports() {
+			st := p.Stats()
+			trims += st.Trimmed
+			drops += st.Dropped
+		}
+	}
+	return trims, drops
+}
+
+// Property: every host can reach every other host (all switches on shortest
+// paths have FIB entries), for a few random fabric shapes.
+func TestPropertyFullReachability(t *testing.T) {
+	f := func(spines, leaves, servers uint8) bool {
+		c := DefaultConfig()
+		c.Spines = int(spines%3) + 1
+		c.Leaves = int(leaves%3) + 1
+		c.ServersPerLeaf = int(servers%2) + 1
+		c.BackbonesPerSpine = 2
+		c.Backbones = c.Spines * 2
+		e := sim.New()
+		n := Build(e, c)
+		// Check routing from one host in DC0 to all hosts in both DCs.
+		src := n.Hosts[0][0]
+		delivered := 0
+		want := 0
+		for dc := 0; dc < 2; dc++ {
+			for _, dst := range n.Hosts[dc] {
+				if dst == src {
+					continue
+				}
+				want++
+				dst.SetCatchAll(netsim.EndpointFunc(func(*sim.Engine, *netsim.Packet) { delivered++ }))
+				pkt := src.NewPacket()
+				pkt.Kind = netsim.Data
+				pkt.Size = 64
+				pkt.FullSize = 64
+				pkt.Dst = dst.ID()
+				src.Send(e, pkt)
+			}
+		}
+		e.Run()
+		return delivered == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build must panic on invalid config")
+		}
+	}()
+	c := DefaultConfig()
+	c.Spines = 0
+	Build(sim.New(), c)
+}

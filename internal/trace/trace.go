@@ -1,0 +1,162 @@
+// Package trace records time series from a running simulation: periodic
+// queue-occupancy samples (how Figure 1's "congestion point" story is
+// visualized) and timestamped flow events. A Recorder attaches to ports of
+// interest and samples them on the simulation clock.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+// QueueSample is one observation of a queue's occupancy.
+type QueueSample struct {
+	At    units.Time
+	Bytes units.ByteSize
+}
+
+// QueueSeries is the sampled occupancy of one watched port.
+type QueueSeries struct {
+	Label   string
+	Samples []QueueSample
+}
+
+// Peak returns the maximum sampled occupancy and its time.
+func (q *QueueSeries) Peak() (units.ByteSize, units.Time) {
+	var maxB units.ByteSize
+	var at units.Time
+	for _, s := range q.Samples {
+		if s.Bytes > maxB {
+			maxB, at = s.Bytes, s.At
+		}
+	}
+	return maxB, at
+}
+
+// Mean returns the time-average of the sampled occupancy.
+func (q *QueueSeries) Mean() units.ByteSize {
+	if len(q.Samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range q.Samples {
+		sum += int64(s.Bytes)
+	}
+	return units.ByteSize(sum / int64(len(q.Samples)))
+}
+
+// Event is a timestamped annotation (flow start, completion, timeout...).
+type Event struct {
+	At   units.Time
+	What string
+}
+
+// Recorder samples watched ports at a fixed simulated interval and collects
+// events. The zero value is not usable; create with New.
+type Recorder struct {
+	interval units.Duration
+	until    units.Time
+	ports    []*netsim.Port
+	series   []*QueueSeries
+	events   []Event
+	started  bool
+}
+
+// New returns a recorder sampling every interval until the given simulated
+// time (use units.MaxTime to sample as long as the run lasts).
+func New(interval units.Duration, until units.Time) *Recorder {
+	if interval <= 0 {
+		interval = units.Duration(100 * units.Microsecond)
+	}
+	return &Recorder{interval: interval, until: until}
+}
+
+// Watch registers a port's egress queue for sampling. It must be called
+// before Start.
+func (r *Recorder) Watch(label string, p *netsim.Port) *QueueSeries {
+	if r.started {
+		panic("trace: Watch after Start")
+	}
+	s := &QueueSeries{Label: label}
+	r.ports = append(r.ports, p)
+	r.series = append(r.series, s)
+	return s
+}
+
+// Start schedules the sampling loop on the engine.
+func (r *Recorder) Start(e *sim.Engine) {
+	r.started = true
+	var tick sim.Event
+	tick = func(e *sim.Engine) {
+		for i, p := range r.ports {
+			r.series[i].Samples = append(r.series[i].Samples, QueueSample{
+				At:    e.Now(),
+				Bytes: p.QueuedBytes(),
+			})
+		}
+		next := e.Now().Add(r.interval)
+		if next <= r.until {
+			e.Schedule(next, tick)
+		}
+	}
+	e.After(0, tick)
+}
+
+// Log appends a timestamped event.
+func (r *Recorder) Log(at units.Time, format string, args ...any) {
+	r.events = append(r.events, Event{At: at, What: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events in time order.
+func (r *Recorder) Events() []Event {
+	out := append([]Event(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Series returns the recorded queue series in Watch order.
+func (r *Recorder) Series() []*QueueSeries { return r.series }
+
+// WriteCSV emits "time_us,label1_bytes,label2_bytes,..." rows, aligned on
+// the common sampling clock.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "time_us"); err != nil {
+		return err
+	}
+	for _, s := range r.series {
+		fmt.Fprintf(w, ",%s", s.Label)
+	}
+	fmt.Fprintln(w)
+	n := 0
+	for _, s := range r.series {
+		if len(s.Samples) > n {
+			n = len(s.Samples)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var at units.Time
+		for _, s := range r.series {
+			if i < len(s.Samples) {
+				at = s.Samples[i].At
+				break
+			}
+		}
+		fmt.Fprintf(w, "%.3f", units.Duration(at).Microseconds())
+		for _, s := range r.series {
+			if i < len(s.Samples) {
+				fmt.Fprintf(w, ",%d", s.Samples[i].Bytes)
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

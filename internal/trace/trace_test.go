@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/topo"
+	"incastproxy/internal/units"
+	"incastproxy/internal/workload"
+)
+
+type sinkNode struct{ id netsim.NodeID }
+
+func (s *sinkNode) ID() netsim.NodeID                                 { return s.id }
+func (s *sinkNode) Name() string                                      { return "sink" }
+func (s *sinkNode) Receive(*sim.Engine, *netsim.Packet, *netsim.Port) {}
+
+func TestRecorderSamplesQueue(t *testing.T) {
+	e := sim.New()
+	a, b := &sinkNode{id: 1}, &sinkNode{id: 2}
+	// Slow 1 Gbps link: 100 packets of 1500B take 1.2ms to drain.
+	pa, _ := netsim.Connect(a, b, units.Gbps, 0, netsim.QueueConfig{}, netsim.QueueConfig{}, nil)
+
+	r := New(units.Duration(50*units.Microsecond), units.Time(5*units.Millisecond))
+	series := r.Watch("a->b", pa)
+	r.Start(e)
+
+	for i := 0; i < 100; i++ {
+		pkt := &netsim.Packet{ID: uint64(i), Kind: netsim.Data, Size: 1500, FullSize: 1500}
+		pa.Send(e, pkt)
+	}
+	e.Run()
+
+	if len(series.Samples) < 10 {
+		t.Fatalf("samples = %d", len(series.Samples))
+	}
+	peak, at := series.Peak()
+	if peak < 100*1500/2 {
+		t.Fatalf("peak %v too low; queue buildup not captured", peak)
+	}
+	if at == 0 && peak == 0 {
+		t.Fatal("no peak recorded")
+	}
+	if series.Mean() <= 0 {
+		t.Fatal("mean should be positive while draining")
+	}
+	// Occupancy must eventually drain to zero within the watch window.
+	last := series.Samples[len(series.Samples)-1]
+	if last.Bytes != 0 {
+		t.Fatalf("queue not drained at end: %v", last.Bytes)
+	}
+}
+
+func TestRecorderStopsAtUntil(t *testing.T) {
+	e := sim.New()
+	a, b := &sinkNode{id: 1}, &sinkNode{id: 2}
+	pa, _ := netsim.Connect(a, b, units.Gbps, 0, netsim.QueueConfig{}, netsim.QueueConfig{}, nil)
+	r := New(units.Duration(10*units.Microsecond), units.Time(100*units.Microsecond))
+	s := r.Watch("x", pa)
+	r.Start(e)
+	e.Run()
+	// ~11 ticks (0..100us inclusive).
+	if len(s.Samples) > 12 {
+		t.Fatalf("sampler did not stop: %d samples", len(s.Samples))
+	}
+}
+
+func TestWatchAfterStartPanics(t *testing.T) {
+	r := New(0, 0)
+	r.Start(sim.New())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Watch after Start must panic")
+		}
+	}()
+	r.Watch("late", nil)
+}
+
+func TestEventsSorted(t *testing.T) {
+	r := New(0, 0)
+	r.Log(30, "third")
+	r.Log(10, "first %d", 1)
+	r.Log(20, "second")
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].What != "first 1" || ev[2].What != "third" {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	e := sim.New()
+	a, b := &sinkNode{id: 1}, &sinkNode{id: 2}
+	pa, _ := netsim.Connect(a, b, units.Gbps, 0, netsim.QueueConfig{}, netsim.QueueConfig{}, nil)
+	r := New(units.Duration(10*units.Microsecond), units.Time(50*units.Microsecond))
+	r.Watch("q1", pa)
+	r.Start(e)
+	e.Run()
+
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "time_us,q1\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if strings.Count(out, "\n") < 3 {
+		t.Fatalf("csv too short:\n%s", out)
+	}
+}
+
+// TestRecorderOnIncastShowsBottleneckShift attaches the recorder through
+// the workload OnBuild hook and confirms the Figure 1 story as a time
+// series: under the streamlined proxy the proxy down-ToR is the hot queue.
+func TestRecorderOnIncastShowsBottleneckShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	var rx, px *QueueSeries
+	spec := workload.Spec{
+		Scheme:     workload.ProxyStreamlined,
+		Degree:     8,
+		TotalBytes: 40 * units.MB,
+		Runs:       1,
+		Seed:       7,
+		OnBuild: func(net *topo.Network, e *sim.Engine) {
+			r := New(units.Duration(200*units.Microsecond), units.Time(10*units.Second))
+			rx = r.Watch("receiver-down-tor", net.DownToRPort(net.Hosts[1][0]))
+			px = r.Watch("proxy-down-tor", net.DownToRPort(net.Hosts[0][len(net.Hosts[0])-1]))
+			r.Start(e)
+		},
+	}
+	if _, err := workload.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	rxPeak, _ := rx.Peak()
+	pxPeak, _ := px.Peak()
+	if pxPeak <= rxPeak {
+		t.Fatalf("proxy ToR peak %v should exceed receiver ToR peak %v", pxPeak, rxPeak)
+	}
+}

@@ -1,0 +1,100 @@
+// Package transport implements the DCTCP-like transport of §4.1: a
+// window-based sender that resets its congestion window on timeout,
+// decreases it on ECN-marked ACKs or NACKs, and increases it on unmarked
+// ACKs, with the initial window set to one bandwidth-delay product
+// (following Homa). Acknowledgements are per data packet, which keeps the
+// protocol correct under the fabric's packet spraying.
+package transport
+
+import (
+	"fmt"
+
+	"incastproxy/internal/units"
+)
+
+// Config parameterizes one flow's transport behaviour. Zero fields take the
+// documented defaults via withDefaults.
+type Config struct {
+	// MSS is the wire size of a full data packet.
+	MSS units.ByteSize
+	// InitWindow is the initial congestion window in bytes. The §4.1
+	// setting is 1 BDP of the flow's path; the experiment harness
+	// computes it from the topology.
+	InitWindow units.ByteSize
+	// MinWindow floors the congestion window (default 1 MSS).
+	MinWindow units.ByteSize
+	// Gain is the DCTCP alpha EWMA gain g (default 1/16).
+	Gain float64
+	// ExpectedRTT seeds RTT-dependent machinery (alpha update cadence,
+	// decrease rate-limiting) before the first RTT sample arrives.
+	ExpectedRTT units.Duration
+	// InitRTO is the retransmission timeout before any RTT sample
+	// (default 3x ExpectedRTT).
+	InitRTO units.Duration
+	// MinRTO floors the timeout; with a proxy the short feedback loop
+	// admits microsecond-level timeouts (§5).
+	MinRTO units.Duration
+	// MaxRTO caps exponential backoff.
+	MaxRTO units.Duration
+
+	// GeminiMode enables the Gemini-like cross-datacenter variant the
+	// paper's related work discusses: the ECN-triggered multiplicative
+	// decrease is scaled down for long-RTT flows
+	// (beta = alpha/2 * min(1, RTTRef/RTT)), avoiding link
+	// under-utilization over long-haul paths — but, as the paper notes,
+	// doing nothing about first-RTT overload.
+	GeminiMode bool
+	// RTTRef is Gemini's intra-datacenter reference RTT (default
+	// 100 us).
+	RTTRef units.Duration
+}
+
+// Default transport constants. The 1 ms RTO floor mirrors practical
+// datacenter minRTO tuning (and htsim's default): a lower floor makes
+// normal ToR queue oscillation fire spurious timeouts. Schemes that want
+// the §5 "microsecond-level timeout" behaviour set MinRTO explicitly.
+const (
+	DefaultMSS    units.ByteSize = 1500
+	defaultGain                  = 1.0 / 16
+	defaultMinRTO                = units.Millisecond
+	defaultMaxRTO                = 5 * units.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = DefaultMSS
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = c.MSS
+	}
+	if c.InitWindow <= 0 {
+		c.InitWindow = 10 * c.MSS
+	}
+	if c.Gain <= 0 || c.Gain > 1 {
+		c.Gain = defaultGain
+	}
+	if c.ExpectedRTT <= 0 {
+		c.ExpectedRTT = 100 * units.Microsecond
+	}
+	if c.InitRTO <= 0 {
+		c.InitRTO = 3 * c.ExpectedRTT
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = defaultMinRTO
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = defaultMaxRTO
+	}
+	if c.InitRTO < c.MinRTO {
+		c.InitRTO = c.MinRTO
+	}
+	if c.RTTRef <= 0 {
+		c.RTTRef = 100 * units.Microsecond
+	}
+	return c
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("mss=%v iw=%v rtt=%v rto=[%v,%v]",
+		c.MSS, c.InitWindow, c.ExpectedRTT, c.MinRTO, c.MaxRTO)
+}

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+// ReceiverStats counts what one receiving endpoint observed.
+type ReceiverStats struct {
+	PktsReceived uint64
+	Duplicates   uint64
+	TrimmedSeen  uint64
+	AcksSent     uint64
+	NacksSent    uint64
+}
+
+// Receiver is the receiving endpoint of one flow: it acknowledges every
+// data packet individually, echoing the packet's ECN mark, and (optionally)
+// NACKs trimmed headers that reach it. Bind it to its host before use.
+type Receiver struct {
+	host *netsim.Host
+	flow netsim.FlowID
+	// ackDst is where control packets are addressed: the sender
+	// directly, or the streamlined proxy, which relays them.
+	ackDst netsim.NodeID
+
+	// NackOnTrim makes the receiver NACK trimmed headers. Receivers do
+	// this whenever trimming is enabled on their path; the streamlined
+	// proxy's value is generating the same NACK a millisecond earlier.
+	NackOnTrim bool
+
+	// OnData, if set, observes every new (non-duplicate, non-trimmed)
+	// data packet; the naive proxy's upstream half uses it to feed its
+	// relay queue.
+	OnData func(e *sim.Engine, p *netsim.Packet)
+
+	expected units.ByteSize
+	received map[int64]bool
+	bytes    units.ByteSize
+	done     bool
+	doneAt   units.Time
+	onDone   func(units.Time)
+	Stats    ReceiverStats
+}
+
+// NewReceiver creates a receiver expecting the given number of bytes
+// (0 means unbounded/streaming; completion is then never signalled).
+// Control packets are sent to ackDst.
+func NewReceiver(host *netsim.Host, flow netsim.FlowID, ackDst netsim.NodeID,
+	expected units.ByteSize, onDone func(units.Time)) *Receiver {
+	return &Receiver{
+		host:       host,
+		flow:       flow,
+		ackDst:     ackDst,
+		NackOnTrim: true,
+		expected:   expected,
+		received:   make(map[int64]bool),
+		onDone:     onDone,
+	}
+}
+
+// Bytes returns the distinct payload bytes received so far.
+func (r *Receiver) Bytes() units.ByteSize { return r.bytes }
+
+// Done reports whether all expected bytes have arrived.
+func (r *Receiver) Done() bool { return r.done }
+
+// DoneAt returns the completion time (valid once Done).
+func (r *Receiver) DoneAt() units.Time { return r.doneAt }
+
+// Handle implements netsim.Endpoint.
+func (r *Receiver) Handle(e *sim.Engine, p *netsim.Packet) {
+	if p.Kind != netsim.Data {
+		return // receivers only consume data
+	}
+	if p.Trimmed {
+		r.Stats.TrimmedSeen++
+		if r.NackOnTrim {
+			r.sendControl(e, netsim.Nack, p)
+		}
+		return
+	}
+	r.Stats.PktsReceived++
+	if r.received[p.Seq] {
+		r.Stats.Duplicates++
+		// Re-ACK: the earlier ACK may have been dropped or the
+		// sender may have spuriously retransmitted.
+		r.sendControl(e, netsim.Ack, p)
+		return
+	}
+	r.received[p.Seq] = true
+	r.bytes += p.Size
+	if r.OnData != nil {
+		r.OnData(e, p)
+	}
+	r.sendControl(e, netsim.Ack, p)
+	if !r.done && r.expected > 0 && r.bytes >= r.expected {
+		r.done = true
+		r.doneAt = e.Now()
+		if r.onDone != nil {
+			r.onDone(e.Now())
+		}
+	}
+}
+
+// sendControl emits an ACK or NACK for data packet p back toward ackDst.
+func (r *Receiver) sendControl(e *sim.Engine, kind netsim.Kind, p *netsim.Packet) {
+	c := r.host.NewPacket()
+	c.Flow = r.flow
+	c.Kind = kind
+	c.Seq = p.Seq
+	c.Size = netsim.ControlSize
+	c.FullSize = netsim.ControlSize
+	c.Dst = r.ackDst
+	c.FinalDst = p.Src
+	c.EchoECN = p.ECN && kind == netsim.Ack
+	c.Retx = p.Retx // Karn: flag acks of retransmitted data
+	c.SentAt = p.SentAt
+	if kind == netsim.Ack {
+		r.Stats.AcksSent++
+	} else {
+		r.Stats.NacksSent++
+	}
+	r.host.Send(e, c)
+}

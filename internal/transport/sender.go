@@ -1,0 +1,562 @@
+package transport
+
+import (
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+// SenderStats counts transport-level events for one flow.
+type SenderStats struct {
+	PktsSent     uint64
+	Retransmits  uint64
+	Timeouts     uint64
+	Nacks        uint64
+	MarkedAcks   uint64
+	UnmarkedAcks uint64
+	Decreases    uint64
+	// SpuriousRTO counts timeouts detected as spurious (an original
+	// transmission's ACK arrived just after the timer fired) and undone
+	// F-RTO-style.
+	SpuriousRTO uint64
+}
+
+type sendRecord struct {
+	size   units.ByteSize
+	sentAt units.Time
+	retx   bool
+}
+
+// Sender is the DCTCP-like sending endpoint of one flow. It must be bound
+// to its host with Host.Bind(flow, sender) before Start.
+//
+// A Sender either carries a fixed number of bytes (NewSender) or streams
+// packets supplied incrementally (NewStreamingSender), which is how the
+// naive proxy's upstream half feeds its downstream half.
+type Sender struct {
+	cfg  Config
+	host *netsim.Host
+	flow netsim.FlowID
+
+	dst      netsim.NodeID // data packets are addressed here
+	finalDst netsim.NodeID // eventual receiver when dst is a streamlined proxy
+
+	// Fixed-size mode.
+	totalBytes units.ByteSize
+	numPkts    int64
+
+	// Streaming mode (totalBytes < 0): sizes of supplied-but-unsent
+	// packets, in order.
+	streaming    bool
+	supplyQ      []units.ByteSize
+	supplyClosed bool
+	suppliedPkts int64
+
+	nextSeq     int64
+	outstanding map[int64]*sendRecord
+	pktSize     map[int64]units.ByteSize
+	acked       map[int64]bool
+	ackedBytes  units.ByteSize
+	ackedPkts   int64
+	lost        map[int64]bool
+	retxQ       []int64
+	sendOrder   []orderEntry
+
+	cwnd     float64
+	ssthresh float64
+	inflight units.ByteSize
+
+	alpha        float64
+	winAcked     units.ByteSize
+	winMarked    units.ByteSize
+	alphaNext    units.Time
+	lastDecrease units.Time
+	// recoveryPoint is the time of the last window reduction; congestion
+	// signals carried by packets sent before it are stale and ignored
+	// (standard recovery-point semantics — without this, the marked ACKs
+	// of a pre-timeout burst crush the freshly reset window).
+	recoveryPoint units.Time
+
+	srtt, rttvar units.Duration
+	rto          units.Duration
+	backoff      uint
+
+	timer         *sim.Timer
+	lastTimeoutAt units.Time
+	rtoUndone     bool
+	started       bool
+	done          bool
+	doneAt        units.Time
+	onDone        func(units.Time)
+	Stats         SenderStats
+}
+
+type orderEntry struct {
+	seq    int64
+	sentAt units.Time
+}
+
+// NewSender creates a fixed-size sender for total bytes addressed to dst.
+// finalDst is non-zero only when dst is a streamlined proxy relaying to the
+// eventual receiver. onDone (optional) fires when every byte is acked.
+func NewSender(host *netsim.Host, flow netsim.FlowID, dst, finalDst netsim.NodeID,
+	total units.ByteSize, cfg Config, onDone func(units.Time)) *Sender {
+	s := newSender(host, flow, dst, finalDst, cfg, onDone)
+	s.totalBytes = total
+	s.numPkts = int64((total + s.cfg.MSS - 1) / s.cfg.MSS)
+	return s
+}
+
+// NewStreamingSender creates a sender whose packets are supplied one at a
+// time with Supply; CloseSupply marks the end of the stream.
+func NewStreamingSender(host *netsim.Host, flow netsim.FlowID, dst, finalDst netsim.NodeID,
+	cfg Config, onDone func(units.Time)) *Sender {
+	s := newSender(host, flow, dst, finalDst, cfg, onDone)
+	s.streaming = true
+	return s
+}
+
+func newSender(host *netsim.Host, flow netsim.FlowID, dst, finalDst netsim.NodeID,
+	cfg Config, onDone func(units.Time)) *Sender {
+	cfg = cfg.withDefaults()
+	return &Sender{
+		cfg:         cfg,
+		host:        host,
+		flow:        flow,
+		dst:         dst,
+		finalDst:    finalDst,
+		outstanding: make(map[int64]*sendRecord),
+		pktSize:     make(map[int64]units.ByteSize),
+		acked:       make(map[int64]bool),
+		lost:        make(map[int64]bool),
+		cwnd:        float64(cfg.InitWindow),
+		ssthresh:    float64(1 << 50),
+		alpha:       1, // DCTCP convention: first mark halves the window
+		rto:         cfg.InitRTO,
+		onDone:      onDone,
+	}
+}
+
+// Start begins transmission at the engine's current time.
+func (s *Sender) Start(e *sim.Engine) {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.timer = sim.NewTimer(e, s.onTimeout)
+	s.alphaNext = e.Now().Add(s.cfg.ExpectedRTT)
+	s.checkDone(e) // a zero-byte flow completes immediately
+	s.trySend(e)
+}
+
+// Supply appends one packet of the given size to a streaming sender.
+func (s *Sender) Supply(e *sim.Engine, size units.ByteSize) {
+	if !s.streaming {
+		panic("transport: Supply on fixed-size sender")
+	}
+	s.supplyQ = append(s.supplyQ, size)
+	s.suppliedPkts++
+	if s.started {
+		s.trySend(e)
+	}
+}
+
+// CloseSupply marks the end of a streaming sender's data.
+func (s *Sender) CloseSupply(e *sim.Engine) {
+	s.supplyClosed = true
+	s.checkDone(e)
+}
+
+// Done reports whether every byte has been acknowledged.
+func (s *Sender) Done() bool { return s.done }
+
+// DoneAt returns when the flow completed (valid once Done).
+func (s *Sender) DoneAt() units.Time { return s.doneAt }
+
+// Cwnd returns the current congestion window in bytes.
+func (s *Sender) Cwnd() units.ByteSize { return units.ByteSize(s.cwnd) }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() units.Duration { return s.srtt }
+
+// RTO returns the current retransmission timeout.
+func (s *Sender) RTO() units.Duration { return s.rto }
+
+// Inflight returns the bytes currently outstanding.
+func (s *Sender) Inflight() units.ByteSize { return s.inflight }
+
+// SupplyBacklog returns the bytes supplied to a streaming sender that have
+// not yet been transmitted for the first time — the naive proxy's relay
+// queue occupancy.
+func (s *Sender) SupplyBacklog() units.ByteSize {
+	var b units.ByteSize
+	for _, sz := range s.supplyQ {
+		b += sz
+	}
+	return b
+}
+
+// Handle implements netsim.Endpoint for ACK/NACK delivery.
+func (s *Sender) Handle(e *sim.Engine, p *netsim.Packet) {
+	switch p.Kind {
+	case netsim.Ack:
+		s.onAck(e, p)
+	case netsim.Nack:
+		s.onNack(e, p)
+	}
+}
+
+// sizeOf returns the wire size of data packet seq.
+func (s *Sender) sizeOf(seq int64) units.ByteSize {
+	if sz, ok := s.pktSize[seq]; ok {
+		return sz
+	}
+	if s.streaming {
+		panic("transport: unknown streaming packet size")
+	}
+	if seq == s.numPkts-1 {
+		if rem := s.totalBytes % s.cfg.MSS; rem != 0 {
+			return rem
+		}
+	}
+	return s.cfg.MSS
+}
+
+// nextNewSize reports the size of the next fresh packet and whether one is
+// available to send.
+func (s *Sender) nextNewSize() (units.ByteSize, bool) {
+	if s.streaming {
+		idx := s.nextSeq - (s.suppliedPkts - int64(len(s.supplyQ)))
+		if idx < 0 || idx >= int64(len(s.supplyQ)) {
+			return 0, false
+		}
+		return s.supplyQ[idx], true
+	}
+	if s.nextSeq >= s.numPkts {
+		return 0, false
+	}
+	return s.sizeOf(s.nextSeq), true
+}
+
+func (s *Sender) trySend(e *sim.Engine) {
+	for {
+		// Retransmissions first.
+		seq, size, retx, ok := s.pickNext()
+		if !ok {
+			return
+		}
+		if s.inflight > 0 && s.inflight+size > units.ByteSize(s.cwnd) {
+			return
+		}
+		s.transmit(e, seq, size, retx)
+	}
+}
+
+// pickNext chooses the next packet (retransmission before new data) without
+// consuming it if the window blocks.
+func (s *Sender) pickNext() (seq int64, size units.ByteSize, retx, ok bool) {
+	for len(s.retxQ) > 0 {
+		cand := s.retxQ[0]
+		if s.acked[cand] || !s.lost[cand] {
+			s.retxQ = s.retxQ[1:]
+			continue
+		}
+		return cand, s.sizeOf(cand), true, true
+	}
+	sz, avail := s.nextNewSize()
+	if !avail {
+		return 0, 0, false, false
+	}
+	return s.nextSeq, sz, false, true
+}
+
+func (s *Sender) transmit(e *sim.Engine, seq int64, size units.ByteSize, retx bool) {
+	if retx {
+		s.retxQ = s.retxQ[1:]
+		delete(s.lost, seq)
+		s.Stats.Retransmits++
+	} else {
+		if s.streaming {
+			s.supplyQ = s.supplyQ[1:]
+		}
+		s.pktSize[seq] = size
+		s.nextSeq++
+	}
+	pkt := s.host.NewPacket()
+	pkt.Flow = s.flow
+	pkt.Kind = netsim.Data
+	pkt.Seq = seq
+	pkt.Size = size
+	pkt.FullSize = size
+	pkt.Dst = s.dst
+	pkt.FinalDst = s.finalDst
+	pkt.Retx = retx
+	pkt.SentAt = e.Now()
+
+	s.outstanding[seq] = &sendRecord{size: size, sentAt: e.Now(), retx: retx}
+	s.sendOrder = append(s.sendOrder, orderEntry{seq: seq, sentAt: e.Now()})
+	s.inflight += size
+	s.Stats.PktsSent++
+	s.host.Send(e, pkt)
+	if !s.timer.Pending() {
+		s.timer.ArmAfter(s.rto)
+	}
+}
+
+func (s *Sender) onAck(e *sim.Engine, p *netsim.Packet) {
+	seq := p.Seq
+	rec := s.outstanding[seq]
+	if rec != nil {
+		delete(s.outstanding, seq)
+		s.inflight -= rec.size
+		if !rec.retx && !p.Retx {
+			s.sampleRTT(e.Now().Sub(rec.sentAt))
+		}
+		s.backoff = 0
+	}
+	if !s.acked[seq] {
+		wasLost := s.lost[seq]
+		s.acked[seq] = true
+		s.ackedBytes += s.sizeOf(seq)
+		s.ackedPkts++
+		delete(s.lost, seq) // a late arrival cancels a pending retransmit
+		// F-RTO-style undo (RFC 5682 spirit, cited by the paper): an
+		// ACK of an *original* transmission for a packet the timeout
+		// declared lost proves the timeout was spurious (a truly lost
+		// original is never acked) — restore the window instead of
+		// crawling back from one MSS. At most one undo per timeout.
+		if wasLost && !p.Retx && !s.rtoUndone && s.lastTimeoutAt != 0 {
+			s.cwnd = maxf(s.cwnd, s.ssthresh)
+			s.backoff = 0
+			s.rtoUndone = true
+			s.Stats.SpuriousRTO++
+		}
+		marked := p.EchoECN
+		if marked && (rec == nil || rec.sentAt < s.recoveryPoint) {
+			marked = false // stale signal from before the last reduction
+		}
+		s.updateWindow(e, s.sizeOf(seq), marked)
+	}
+	s.checkDone(e)
+	s.trySend(e)
+}
+
+func (s *Sender) onNack(e *sim.Engine, p *netsim.Packet) {
+	seq := p.Seq
+	s.Stats.Nacks++
+	rec := s.outstanding[seq]
+	if rec == nil || s.acked[seq] {
+		return // stale NACK for something already resolved
+	}
+	delete(s.outstanding, seq)
+	s.inflight -= rec.size
+	if !s.lost[seq] {
+		s.lost[seq] = true
+		s.retxQ = append(s.retxQ, seq)
+	}
+	// Loss signal: multiplicative decrease, at most once per RTT
+	// ("decreases the window upon receiving ... NACK packet", §4.1).
+	// NACKs for pre-recovery packets are stale.
+	if rec.sentAt >= s.recoveryPoint && s.allowDecrease(e) {
+		s.cwnd = s.cwnd / 2
+		s.clampWindow()
+		s.ssthresh = s.cwnd
+		s.Stats.Decreases++
+	}
+	s.trySend(e)
+}
+
+// updateWindow applies the §4.1 control law to one acked packet.
+func (s *Sender) updateWindow(e *sim.Engine, size units.ByteSize, marked bool) {
+	s.winAcked += size
+	if marked {
+		s.Stats.MarkedAcks++
+		s.winMarked += size
+	} else {
+		s.Stats.UnmarkedAcks++
+	}
+	// Update DCTCP alpha once per RTT.
+	if e.Now() >= s.alphaNext {
+		frac := 0.0
+		if s.winAcked > 0 {
+			frac = float64(s.winMarked) / float64(s.winAcked)
+		}
+		s.alpha = (1-s.cfg.Gain)*s.alpha + s.cfg.Gain*frac
+		s.winAcked, s.winMarked = 0, 0
+		s.alphaNext = e.Now().Add(s.currentRTT())
+	}
+	if marked {
+		// DCTCP-style decrease: scale the window by the marked
+		// fraction estimate. ssthresh is deliberately left alone —
+		// ECN is an early signal, not a loss; clobbering ssthresh
+		// here would end slow-start recovery permanently.
+		if s.allowDecrease(e) {
+			beta := s.alpha / 2
+			if s.cfg.GeminiMode {
+				// Gemini: milder reduction for longer-RTT
+				// flows (beta scaled by RTTRef/RTT).
+				if rtt := s.currentRTT(); rtt > s.cfg.RTTRef {
+					beta *= float64(s.cfg.RTTRef) / float64(rtt)
+				}
+			}
+			s.cwnd = s.cwnd * (1 - beta)
+			s.clampWindow()
+			s.Stats.Decreases++
+		}
+		return
+	}
+	// Unmarked ACK: increase. Slow start below ssthresh, else additive
+	// increase of one MSS per RTT.
+	if s.cwnd < s.ssthresh {
+		s.cwnd += float64(size)
+	} else {
+		s.cwnd += float64(s.cfg.MSS) * float64(size) / s.cwnd
+	}
+}
+
+func (s *Sender) allowDecrease(e *sim.Engine) bool {
+	rtt := s.currentRTT()
+	if s.lastDecrease != 0 && e.Now().Sub(s.lastDecrease) < rtt {
+		return false
+	}
+	s.lastDecrease = e.Now()
+	s.recoveryPoint = e.Now()
+	return true
+}
+
+func (s *Sender) clampWindow() {
+	if s.cwnd < float64(s.cfg.MinWindow) {
+		s.cwnd = float64(s.cfg.MinWindow)
+	}
+}
+
+func (s *Sender) currentRTT() units.Duration {
+	if s.srtt > 0 {
+		return s.srtt
+	}
+	return s.cfg.ExpectedRTT
+}
+
+// sampleRTT runs the standard SRTT/RTTVAR estimator (RFC 6298 constants).
+func (s *Sender) sampleRTT(rtt units.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}
+
+// onTimeout expires packets outstanding longer than the (backed-off) RTO:
+// they are queued for retransmission and the window resets to its minimum
+// ("the sender resets its congestion window upon timeout", §4.1).
+func (s *Sender) onTimeout(e *sim.Engine) {
+	effRTO := s.effectiveRTO()
+	deadline := e.Now().Add(-effRTO)
+	expired := false
+	// Drain the in-order send log for expired entries.
+	for len(s.sendOrder) > 0 {
+		front := s.sendOrder[0]
+		rec := s.outstanding[front.seq]
+		if rec == nil || rec.sentAt != front.sentAt {
+			s.sendOrder = s.sendOrder[1:] // stale entry
+			continue
+		}
+		if front.sentAt > deadline {
+			break
+		}
+		delete(s.outstanding, front.seq)
+		s.inflight -= rec.size
+		if !s.lost[front.seq] && !s.acked[front.seq] {
+			s.lost[front.seq] = true
+			s.retxQ = append(s.retxQ, front.seq)
+		}
+		s.sendOrder = s.sendOrder[1:]
+		expired = true
+	}
+	if expired {
+		s.Stats.Timeouts++
+		// Standard loss-recovery target: remember half the pre-loss
+		// window so slow start rebuilds quickly, then reset the
+		// window itself (§4.1: "resets its congestion window upon
+		// timeout").
+		s.ssthresh = maxf(s.cwnd/2, float64(2*s.cfg.MSS))
+		s.cwnd = float64(s.cfg.MinWindow)
+		s.recoveryPoint = e.Now()
+		s.lastTimeoutAt = e.Now()
+		s.rtoUndone = false
+		if s.backoff < 16 {
+			s.backoff++
+		}
+	}
+	s.rearmTimer(e)
+	s.trySend(e)
+}
+
+func (s *Sender) effectiveRTO() units.Duration {
+	r := s.rto << s.backoff
+	if r > s.cfg.MaxRTO || r <= 0 {
+		r = s.cfg.MaxRTO
+	}
+	return r
+}
+
+// rearmTimer schedules the next expiry check at the oldest outstanding
+// packet's deadline.
+func (s *Sender) rearmTimer(e *sim.Engine) {
+	for len(s.sendOrder) > 0 {
+		front := s.sendOrder[0]
+		rec := s.outstanding[front.seq]
+		if rec == nil || rec.sentAt != front.sentAt {
+			s.sendOrder = s.sendOrder[1:]
+			continue
+		}
+		s.timer.Arm(front.sentAt.Add(s.effectiveRTO()))
+		return
+	}
+	s.timer.Cancel()
+}
+
+func (s *Sender) checkDone(e *sim.Engine) {
+	if s.done {
+		return
+	}
+	complete := false
+	if s.streaming {
+		complete = s.supplyClosed && len(s.supplyQ) == 0 && s.ackedPkts == s.suppliedPkts
+	} else {
+		complete = s.ackedBytes >= s.totalBytes && s.totalBytes >= 0
+	}
+	if complete {
+		s.done = true
+		s.doneAt = e.Now()
+		if s.timer != nil {
+			s.timer.Cancel()
+		}
+		if s.onDone != nil {
+			s.onDone(e.Now())
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+// Package units defines the simulation's base quantities: time, data size,
+// and bit rate. Simulated time is kept in integer picoseconds so that
+// serialization delays at 100 Gb/s (80 ps per byte) stay exact across
+// hundreds of millions of events.
+package units
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Time is an absolute simulation timestamp in picoseconds since the start of
+// the run. The zero value is the beginning of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable timestamp; it is used as an "infinitely
+// far in the future" sentinel for disabled timers.
+const MaxTime Time = math.MaxInt64
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds returns the duration as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds returns the duration as a floating-point number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Std converts d to a time.Duration, saturating at the bounds of
+// time.Duration's nanosecond resolution.
+func (d Duration) Std() time.Duration { return time.Duration(d / Nanosecond) }
+
+// FromStd converts a wall-clock time.Duration into a simulated Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) * Nanosecond }
+
+func (d Duration) String() string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d < Nanosecond && d > -Nanosecond:
+		return fmt.Sprintf("%dps", int64(d))
+	case d < Microsecond && d > -Microsecond:
+		return fmt.Sprintf("%.3gns", float64(d)/float64(Nanosecond))
+	case d < Millisecond && d > -Millisecond:
+		return fmt.Sprintf("%.4gus", float64(d)/float64(Microsecond))
+	case d < Second && d > -Second:
+		return fmt.Sprintf("%.4gms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	}
+}
+
+// ByteSize is a quantity of data in bytes.
+type ByteSize int64
+
+// Common data sizes.
+const (
+	Byte ByteSize = 1
+	KB            = 1000 * Byte
+	MB            = 1000 * KB
+	GB            = 1000 * MB
+	KiB           = 1024 * Byte
+	MiB           = 1024 * KiB
+)
+
+// Bits returns the size in bits.
+func (b ByteSize) Bits() int64 { return int64(b) * 8 }
+
+func (b ByteSize) String() string {
+	switch {
+	case b < KB && b > -KB:
+		return fmt.Sprintf("%dB", int64(b))
+	case b < MB && b > -MB:
+		return fmt.Sprintf("%.4gKB", float64(b)/float64(KB))
+	case b < GB && b > -GB:
+		return fmt.Sprintf("%.4gMB", float64(b)/float64(MB))
+	default:
+		return fmt.Sprintf("%.4gGB", float64(b)/float64(GB))
+	}
+}
+
+// BitRate is a transmission rate in bits per second.
+type BitRate int64
+
+// Common rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1000 * BitPerSecond
+	Mbps                 = 1000 * Kbps
+	Gbps                 = 1000 * Mbps
+)
+
+// TransmitTime returns the serialization delay of size at rate r.
+// It rounds up to the next picosecond so a busy link never finishes early.
+func (r BitRate) TransmitTime(size ByteSize) Duration {
+	if r <= 0 {
+		return Duration(math.MaxInt64)
+	}
+	if size <= 0 {
+		return 0
+	}
+	// duration_ps = ceil(bits * 1e12 / rate), in 128-bit arithmetic.
+	return Duration(mulDiv128(uint64(size.Bits()), uint64(Second), uint64(r), true))
+}
+
+// BytesIn returns how many whole bytes r transfers in d.
+func (r BitRate) BytesIn(d Duration) ByteSize {
+	if d <= 0 || r <= 0 {
+		return 0
+	}
+	// bytes = rate * d_ps / (1e12 * 8), in 128-bit arithmetic.
+	return ByteSize(mulDiv128(uint64(r), uint64(d), uint64(Second)*8, false))
+}
+
+// mulDiv128 computes a*b/c in 128-bit arithmetic, optionally rounding up,
+// saturating at MaxInt64 if the result does not fit.
+func mulDiv128(a, b, c uint64, ceil bool) int64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi >= c {
+		return math.MaxInt64
+	}
+	q, rem := bits.Div64(hi, lo, c)
+	if ceil && rem > 0 {
+		q++
+	}
+	if q > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(q)
+}
+
+// BDP returns the bandwidth-delay product for a round-trip time rtt at rate r.
+func (r BitRate) BDP(rtt Duration) ByteSize { return r.BytesIn(rtt) }
+
+func (r BitRate) String() string {
+	switch {
+	case r < Kbps:
+		return fmt.Sprintf("%dbps", int64(r))
+	case r < Mbps:
+		return fmt.Sprintf("%.4gKbps", float64(r)/float64(Kbps))
+	case r < Gbps:
+		return fmt.Sprintf("%.4gMbps", float64(r)/float64(Mbps))
+	default:
+		return fmt.Sprintf("%.4gGbps", float64(r)/float64(Gbps))
+	}
+}

@@ -1,0 +1,159 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransmitTimeExact(t *testing.T) {
+	tests := []struct {
+		rate BitRate
+		size ByteSize
+		want Duration
+	}{
+		{100 * Gbps, 1500 * Byte, 120 * Nanosecond},
+		{100 * Gbps, 1 * Byte, 80 * Picosecond},
+		{10 * Gbps, 1500 * Byte, 1200 * Nanosecond},
+		{1 * Gbps, 125 * MB, Second},
+		{100 * Gbps, 64 * Byte, 5120 * Picosecond},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.TransmitTime(tt.size); got != tt.want {
+			t.Errorf("TransmitTime(%v, %v) = %v, want %v", tt.rate, tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestTransmitTimeRoundsUp(t *testing.T) {
+	// 1 byte at 3 bps = 8/3 s = 2_666_666_666_666.67 ns; must round up.
+	got := BitRate(3).TransmitTime(1)
+	if got != Duration(2_666_666_666_667) {
+		t.Fatalf("TransmitTime(3bps, 1B) = %d ps, want 2666666666667 ps", got)
+	}
+}
+
+func TestBytesInInverseOfTransmitTime(t *testing.T) {
+	f := func(rateGbps uint8, sizeKB uint16) bool {
+		rate := BitRate(int64(rateGbps%200+1)) * Gbps
+		size := ByteSize(int64(sizeKB)+1) * KB
+		d := rate.TransmitTime(size)
+		got := rate.BytesIn(d)
+		// Rounding up the duration can only over-deliver by < 1 byte worth
+		// of picoseconds; allow 1 byte of slack.
+		return got >= size-1 && got <= size+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBDP(t *testing.T) {
+	// 100 Gb/s * 4 ms RTT = 50 MB.
+	got := (100 * Gbps).BDP(4 * Millisecond)
+	if got != 50*MB {
+		t.Fatalf("BDP = %v, want 50MB", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0).Add(5 * Microsecond)
+	t1 := t0.Add(3 * Millisecond)
+	if d := t1.Sub(t0); d != 3*Millisecond {
+		t.Fatalf("Sub = %v", d)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatal("Before/After inconsistent")
+	}
+}
+
+func TestDurationStd(t *testing.T) {
+	if (3 * Millisecond).Std() != 3*time.Millisecond {
+		t.Fatal("Std conversion wrong")
+	}
+	if FromStd(2*time.Microsecond) != 2*Microsecond {
+		t.Fatal("FromStd conversion wrong")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]string{
+		(120 * Nanosecond).String():  "120ns",
+		(1500 * Byte).String():       "1.5KB",
+		(100 * Gbps).String():        "100Gbps",
+		(50 * MB).String():           "50MB",
+		(0 * Picosecond).String():    "0s",
+		(500 * Picosecond).String():  "500ps",
+		(2 * Second).String():        "2s",
+		(250 * Microsecond).String(): "250us",
+		(3 * Millisecond).String():   "3ms",
+		(999 * Byte).String():        "999B",
+		(2 * GB).String():            "2GB",
+		ByteSize(1234567).String():   "1.235MB",
+		BitRate(500).String():        "500bps",
+		(2 * Kbps).String():          "2Kbps",
+		(30 * Mbps).String():         "30Mbps",
+		Time(0).String():             "0s",
+		Time(5000).String():          "5ns",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.Seconds() != 0.0015 {
+		t.Fatalf("Seconds = %v", d.Seconds())
+	}
+	if d.Microseconds() != 1500 {
+		t.Fatalf("Microseconds = %v", d.Microseconds())
+	}
+	if d.Milliseconds() != 1.5 {
+		t.Fatalf("Milliseconds = %v", d.Milliseconds())
+	}
+}
+
+func TestByteSizeBits(t *testing.T) {
+	if (10 * Byte).Bits() != 80 {
+		t.Fatal("Bits wrong")
+	}
+}
+
+func TestBytesInZeroInputs(t *testing.T) {
+	if (100 * Gbps).BytesIn(0) != 0 {
+		t.Fatal("zero duration should carry zero bytes")
+	}
+	if BitRate(0).BytesIn(Second) != 0 {
+		t.Fatal("zero rate should carry zero bytes")
+	}
+	if (100 * Gbps).TransmitTime(0) != 0 {
+		t.Fatal("zero size should serialize instantly")
+	}
+}
+
+func TestMulDiv128Saturation(t *testing.T) {
+	// A result overflowing int64 must saturate, not wrap.
+	d := BitRate(math.MaxInt64).TransmitTime(ByteSize(math.MaxInt64 / 8))
+	if d < 0 {
+		t.Fatalf("saturating math wrapped negative: %v", d)
+	}
+}
+
+func TestMulDivNoOverflow(t *testing.T) {
+	// 100 Gbps over ~1s (1e12 ps) would overflow a naive a*b multiply.
+	got := (100 * Gbps).BytesIn(Duration(999_999_999_999))
+	want := ByteSize(12_499_999_999) // ~12.5 GB
+	if got < want-2 || got > want+2 {
+		t.Fatalf("BytesIn big = %v, want ~%v", got, want)
+	}
+}
+
+func TestTransmitTimeZeroRate(t *testing.T) {
+	if d := BitRate(0).TransmitTime(100); d <= 0 {
+		t.Fatal("zero-rate transmit time should be effectively infinite")
+	}
+}

@@ -1,0 +1,424 @@
+// Package workload generates and runs the paper's workloads: the core
+// many-to-one incast (§4), plus the §2 motivating patterns (MoE all-to-all
+// phases, erasure-coded storage reconstruction, geo-replicated quorum
+// writes) used by the examples.
+//
+// An incast run places every sender in datacenter 0 and the receiver in
+// datacenter 1, optionally routes the flows through a proxy in datacenter 0
+// (naive or streamlined, §4.1), and reports the incast completion time:
+// the time until the receiver holds every byte.
+package workload
+
+import (
+	"fmt"
+
+	"incastproxy/internal/detect"
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/proxy"
+	"incastproxy/internal/rng"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/stats"
+	"incastproxy/internal/topo"
+	"incastproxy/internal/transport"
+	"incastproxy/internal/units"
+)
+
+// Scheme selects how incast traffic is routed (§4.1 "Schemes").
+type Scheme int
+
+// The three compared schemes.
+const (
+	// Baseline: senders transmit directly to the remote receiver.
+	Baseline Scheme = iota
+	// ProxyNaive: two connections per flow relayed at a proxy in the
+	// sending datacenter.
+	ProxyNaive
+	// ProxyStreamlined: one connection routed via the proxy; switches in
+	// the sending DC trim, and the proxy NACKs trimmed headers.
+	ProxyStreamlined
+	// ProxyInferring is the future-work #1 design: no switch trimming;
+	// the proxy infers losses from sequence gaps under reordering with
+	// bounded memory, and NACKs inferred losses. Not part of the
+	// paper's three compared schemes (Schemes()), but evaluable against
+	// them.
+	ProxyInferring
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case ProxyNaive:
+		return "proxy-naive"
+	case ProxyStreamlined:
+		return "proxy-streamlined"
+	case ProxyInferring:
+		return "proxy-inferring"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists all three for sweeps.
+func Schemes() []Scheme { return []Scheme{Baseline, ProxyNaive, ProxyStreamlined} }
+
+// Spec describes one incast experiment setup.
+type Spec struct {
+	Scheme Scheme
+	// Degree is the number of senders; TotalBytes is split equally
+	// among them (§4.2).
+	Degree     int
+	TotalBytes units.ByteSize
+
+	// Runs repeats the experiment with different seeds; the paper uses
+	// 5 and reports avg/min/max.
+	Runs int
+	Seed int64
+
+	// Topo overrides the fabric (zero value: the §4.1 default). The
+	// runner forces TrimDC[0] on for the streamlined scheme.
+	Topo topo.Config
+
+	// MSS is the data packet wire size (default 1500 B).
+	MSS units.ByteSize
+
+	// ProxyProcDelay models streamlined per-packet proxy processing
+	// (default: constant 420 ns, the §5 measured eBPF median).
+	ProxyProcDelay rng.Distribution
+
+	// MaxSimTime bounds each run (default 60 s of simulated time).
+	MaxSimTime units.Duration
+
+	// Ablation knobs (see DESIGN.md's experiment index).
+
+	// NoEarlyFeedback makes the streamlined proxy relay trimmed headers
+	// to the remote receiver instead of NACKing locally (§3 Insight #2
+	// ablation: the bottleneck shift alone is not enough).
+	NoEarlyFeedback bool
+	// TrimReceiverDC enables trimming in the receiving datacenter for
+	// any scheme, so the baseline gets NACKs — over the long loop.
+	TrimReceiverDC bool
+	// IWScale scales every sender's initial window relative to the
+	// default 1 BDP (0 means 1.0).
+	IWScale float64
+	// Gemini enables the Gemini-like congestion control variant on
+	// every sender (related-work comparison: milder window reduction
+	// for longer-RTT flows).
+	Gemini bool
+
+	// OnBuild, if set, runs after the fabric is built and before flows
+	// start in every run — the hook for attaching trace recorders or
+	// custom telemetry.
+	OnBuild func(*topo.Network, *sim.Engine)
+
+	// InferTracker bounds the ProxyInferring scheme's loss tracker
+	// (zero value: 4096-packet windows, 100 us reorder delay, 1024
+	// flows). InferFlushEvery drives its timer-based hole expiry.
+	InferTracker    detect.LossTrackerConfig
+	InferFlushEvery units.Duration
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Topo.Spines == 0 {
+		s.Topo = topo.DefaultConfig()
+	}
+	if s.Runs <= 0 {
+		s.Runs = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.MSS <= 0 {
+		s.MSS = transport.DefaultMSS
+	}
+	if s.ProxyProcDelay == nil {
+		s.ProxyProcDelay = rng.Constant{D: 420 * units.Nanosecond}
+	}
+	if s.MaxSimTime <= 0 {
+		s.MaxSimTime = 60 * units.Second
+	}
+	return s
+}
+
+// Validate reports specification errors.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	hostsPerDC := s.Topo.Leaves * s.Topo.ServersPerLeaf
+	switch {
+	case s.Degree < 1:
+		return fmt.Errorf("workload: degree must be >= 1, got %d", s.Degree)
+	case s.Degree > hostsPerDC-1:
+		return fmt.Errorf("workload: degree %d exceeds %d available senders (one host is the proxy)",
+			s.Degree, hostsPerDC-1)
+	case s.TotalBytes <= 0:
+		return fmt.Errorf("workload: TotalBytes must be positive")
+	}
+	return nil
+}
+
+// RunResult captures one simulated incast.
+type RunResult struct {
+	ICT       units.Duration
+	Completed bool
+
+	// Sender-side aggregates across all flows.
+	Timeouts    uint64
+	Retransmits uint64
+	Nacks       uint64
+	MarkedAcks  uint64
+	PktsSent    uint64
+
+	// Bottleneck telemetry: high-watermark occupancy of the down-ToR
+	// queues at the receiver and at the proxy (Figure 1's two candidate
+	// congestion points).
+	ReceiverToRMaxQueue units.ByteSize
+	ProxyToRMaxQueue    units.ByteSize
+	ReceiverToRDrops    uint64
+	ProxyToRTrims       uint64
+	ProxyToRDrops       uint64
+	// ProxyFalseNacks counts inferring-proxy NACKs contradicted by late
+	// arrivals (reordering mistaken for loss; ProxyInferring only).
+	ProxyFalseNacks uint64
+
+	Events uint64
+}
+
+// Result aggregates an experiment's runs.
+type Result struct {
+	Spec Spec
+	ICT  stats.RunStats
+	Runs []RunResult
+}
+
+// Run executes the experiment: Spec.Runs independent simulations with
+// derived seeds. It returns an error if the spec is invalid or any run
+// fails to complete within MaxSimTime.
+func Run(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec}
+	for run := 0; run < spec.Runs; run++ {
+		rr, err := runOnce(spec, spec.Seed+int64(run)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", run, err)
+		}
+		res.Runs = append(res.Runs, rr)
+		res.ICT.Add(rr.ICT)
+	}
+	return res, nil
+}
+
+// runOnce builds a fresh fabric and simulates one incast.
+func runOnce(spec Spec, seed int64) (RunResult, error) {
+	e := sim.New()
+	cfg := spec.Topo
+	cfg.Seed = seed
+	if spec.Scheme == ProxyStreamlined {
+		cfg.TrimDC[0] = true
+	}
+	if spec.TrimReceiverDC {
+		cfg.TrimDC[1] = true
+	}
+	net := topo.Build(e, cfg)
+	if spec.OnBuild != nil {
+		spec.OnBuild(net, e)
+	}
+	iwScale := spec.IWScale
+	if iwScale <= 0 {
+		iwScale = 1
+	}
+	scaleIW := func(bdp units.ByteSize) units.ByteSize {
+		return units.ByteSize(float64(bdp) * iwScale)
+	}
+	// The first RTT observed by a sender includes the queueing its own
+	// cohort inflicts: up to Degree initial windows draining through one
+	// bottleneck link. The initial RTO must exceed that, or timers fire
+	// spuriously before the first RTT sample arrives.
+	initRTO := func(rtt units.Duration, iw units.ByteSize) units.Duration {
+		return 3*rtt + cfg.LinkRate.TransmitTime(units.ByteSize(spec.Degree)*iw)
+	}
+
+	hostsDC0 := net.Hosts[0]
+	recv := net.Hosts[1][0]
+	proxyHost := hostsDC0[len(hostsDC0)-1]
+	senders := hostsDC0[:spec.Degree]
+
+	shares := splitBytes(spec.TotalBytes, spec.Degree)
+	src := rng.New(seed)
+
+	completedFlows := 0
+	var lastDone units.Time
+	onFlowDone := func(at units.Time) {
+		completedFlows++
+		if at > lastDone {
+			lastDone = at
+		}
+		if completedFlows == spec.Degree {
+			// All receivers finished: nothing left worth
+			// simulating (stray timers would only re-fire).
+			e.Stop()
+		}
+	}
+
+	var inferGroup *proxy.InferringGroup
+	if spec.Scheme == ProxyInferring {
+		tc := spec.InferTracker
+		if tc.WindowPkts == 0 {
+			tc.WindowPkts = 4096
+		}
+		if tc.ReorderDelay == 0 {
+			tc.ReorderDelay = 100 * units.Microsecond
+		}
+		inferGroup = proxy.NewInferringGroup(proxyHost, tc, spec.InferFlushEvery,
+			spec.ProxyProcDelay, src.Split(999))
+		inferGroup.Start(e, units.Time(spec.MaxSimTime))
+	}
+
+	var txSenders []*transport.Sender
+	for i, snd := range senders {
+		flow := netsim.FlowID(i + 1)
+		share := shares[i]
+		switch spec.Scheme {
+		case Baseline:
+			rtt := net.PathRTT(snd, recv, spec.MSS, netsim.ControlSize)
+			iw := scaleIW(net.BottleneckRate(snd, recv).BDP(rtt))
+			c := transport.Config{
+				MSS:         spec.MSS,
+				InitWindow:  iw,
+				ExpectedRTT: rtt,
+				InitRTO:     initRTO(rtt, iw),
+				GeminiMode:  spec.Gemini,
+			}
+			r := transport.NewReceiver(recv, flow, snd.ID(), share, onFlowDone)
+			recv.Bind(flow, r)
+			s := transport.NewSender(snd, flow, recv.ID(), 0, share, c, nil)
+			snd.Bind(flow, s)
+			txSenders = append(txSenders, s)
+			s.Start(e)
+
+		case ProxyStreamlined:
+			rtt := net.PathRTT(snd, proxyHost, spec.MSS, netsim.ControlSize) +
+				net.PathRTT(proxyHost, recv, spec.MSS, netsim.ControlSize)
+			iw := scaleIW(net.BottleneckRate(snd, recv).BDP(rtt))
+			c := transport.Config{
+				MSS:         spec.MSS,
+				InitWindow:  iw,
+				ExpectedRTT: rtt,
+				InitRTO:     initRTO(rtt, iw),
+				GeminiMode:  spec.Gemini,
+			}
+			p := proxy.NewStreamlined(proxyHost, flow, snd.ID(), recv.ID(),
+				spec.ProxyProcDelay, src.Split(int64(flow)))
+			p.NoEarlyNack = spec.NoEarlyFeedback
+			proxyHost.Bind(flow, p)
+			r := transport.NewReceiver(recv, flow, proxyHost.ID(), share, onFlowDone)
+			recv.Bind(flow, r)
+			s := transport.NewSender(snd, flow, proxyHost.ID(), recv.ID(), share, c, nil)
+			snd.Bind(flow, s)
+			txSenders = append(txSenders, s)
+			s.Start(e)
+
+		case ProxyInferring:
+			rtt := net.PathRTT(snd, proxyHost, spec.MSS, netsim.ControlSize) +
+				net.PathRTT(proxyHost, recv, spec.MSS, netsim.ControlSize)
+			iw := scaleIW(net.BottleneckRate(snd, recv).BDP(rtt))
+			c := transport.Config{
+				MSS:         spec.MSS,
+				InitWindow:  iw,
+				ExpectedRTT: rtt,
+				InitRTO:     initRTO(rtt, iw),
+				GeminiMode:  spec.Gemini,
+			}
+			inferGroup.AddFlow(flow, snd.ID(), recv.ID())
+			r := transport.NewReceiver(recv, flow, proxyHost.ID(), share, onFlowDone)
+			recv.Bind(flow, r)
+			s := transport.NewSender(snd, flow, proxyHost.ID(), recv.ID(), share, c, nil)
+			snd.Bind(flow, s)
+			txSenders = append(txSenders, s)
+			s.Start(e)
+
+		case ProxyNaive:
+			downFlow := flow + netsim.FlowID(1)<<20
+			rttUp := net.PathRTT(snd, proxyHost, spec.MSS, netsim.ControlSize)
+			rttDown := net.PathRTT(proxyHost, recv, spec.MSS, netsim.ControlSize)
+			iwUp := scaleIW(net.BottleneckRate(snd, proxyHost).BDP(rttUp))
+			iwDown := scaleIW(net.BottleneckRate(proxyHost, recv).BDP(rttDown))
+			upCfg := transport.Config{
+				MSS:         spec.MSS,
+				InitWindow:  iwUp,
+				ExpectedRTT: rttUp,
+				InitRTO:     initRTO(rttUp, iwUp),
+				GeminiMode:  spec.Gemini,
+			}
+			relay := proxy.NewNaive(proxyHost, flow, downFlow, snd.ID(), recv.ID(),
+				proxy.NaiveConfig{
+					Total: share,
+					DownCfg: transport.Config{
+						MSS:         spec.MSS,
+						InitWindow:  iwDown,
+						ExpectedRTT: rttDown,
+						InitRTO:     initRTO(rttDown, iwDown),
+						GeminiMode:  spec.Gemini,
+					},
+				})
+			r := transport.NewReceiver(recv, downFlow, proxyHost.ID(), share, onFlowDone)
+			recv.Bind(downFlow, r)
+			s := transport.NewSender(snd, flow, proxyHost.ID(), 0, share, upCfg, nil)
+			snd.Bind(flow, s)
+			txSenders = append(txSenders, s)
+			relay.Start(e)
+			s.Start(e)
+
+		default:
+			return RunResult{}, fmt.Errorf("unknown scheme %v", spec.Scheme)
+		}
+	}
+
+	e.RunUntil(units.Time(spec.MaxSimTime))
+
+	rr := RunResult{
+		ICT:       units.Duration(lastDone),
+		Completed: completedFlows == spec.Degree,
+		Events:    e.Processed(),
+	}
+	for _, s := range txSenders {
+		rr.Timeouts += s.Stats.Timeouts
+		rr.Retransmits += s.Stats.Retransmits
+		rr.Nacks += s.Stats.Nacks
+		rr.MarkedAcks += s.Stats.MarkedAcks
+		rr.PktsSent += s.Stats.PktsSent
+	}
+	rst := net.DownToRPort(recv).Stats()
+	pst := net.DownToRPort(proxyHost).Stats()
+	rr.ReceiverToRMaxQueue = rst.MaxBytes
+	rr.ReceiverToRDrops = rst.Dropped
+	rr.ProxyToRMaxQueue = pst.MaxBytes
+	rr.ProxyToRTrims = pst.Trimmed
+	rr.ProxyToRDrops = pst.Dropped
+	if inferGroup != nil {
+		rr.ProxyFalseNacks = inferGroup.Stats.FalseNacks
+	}
+
+	if !rr.Completed {
+		return rr, fmt.Errorf("incast incomplete after %v: %d/%d flows done",
+			spec.MaxSimTime, completedFlows, spec.Degree)
+	}
+	return rr, nil
+}
+
+// splitBytes divides total equally among n flows, spreading the remainder
+// over the first flows (§4.2: "total traffic is split equally").
+func splitBytes(total units.ByteSize, n int) []units.ByteSize {
+	shares := make([]units.ByteSize, n)
+	base := total / units.ByteSize(n)
+	rem := total % units.ByteSize(n)
+	for i := range shares {
+		shares[i] = base
+		if units.ByteSize(i) < rem {
+			shares[i]++
+		}
+	}
+	return shares
+}

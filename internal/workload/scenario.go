@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"fmt"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/proxy"
+	"incastproxy/internal/rng"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/topo"
+	"incastproxy/internal/transport"
+	"incastproxy/internal/units"
+)
+
+// HostRef names a host by datacenter and index.
+type HostRef struct {
+	DC, Host int
+}
+
+func (h HostRef) String() string { return fmt.Sprintf("dc%d/h%d", h.DC, h.Host) }
+
+// ProxyRef routes a flow through a proxy host with the given scheme.
+type ProxyRef struct {
+	Scheme Scheme
+	At     HostRef
+}
+
+// FlowSpec is one point-to-point transfer inside a Scenario.
+type FlowSpec struct {
+	// ID must be unique; IDs above 1<<20 are reserved for internal
+	// relay legs.
+	ID    netsim.FlowID
+	Src   HostRef
+	Dst   HostRef
+	Bytes units.ByteSize
+	// Start is the flow's start offset from scenario time zero.
+	Start units.Duration
+	// Via, when non-nil, relays the flow through a proxy.
+	Via *ProxyRef
+}
+
+// Scenario is an arbitrary multi-flow workload on the two-DC fabric: the
+// general form behind the MoE, storage, and quorum examples, and behind
+// orchestrated multi-incast experiments.
+type Scenario struct {
+	Topo  topo.Config // zero value: §4.1 default
+	Flows []FlowSpec
+	Seed  int64
+
+	MSS            units.ByteSize
+	ProxyProcDelay rng.Distribution
+	MaxSimTime     units.Duration
+
+	// OnBuild, if set, runs after the fabric is built and before flows
+	// are wired (trace/telemetry hook).
+	OnBuild func(*topo.Network, *sim.Engine)
+}
+
+// ScenarioResult reports per-flow completion times.
+type ScenarioResult struct {
+	Done      map[netsim.FlowID]units.Duration
+	Completed bool
+	// Makespan is the completion time of the last flow.
+	Makespan units.Duration
+	Events   uint64
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Topo.Spines == 0 {
+		sc.Topo = topo.DefaultConfig()
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.MSS <= 0 {
+		sc.MSS = transport.DefaultMSS
+	}
+	if sc.ProxyProcDelay == nil {
+		sc.ProxyProcDelay = rng.Constant{D: 420 * units.Nanosecond}
+	}
+	if sc.MaxSimTime <= 0 {
+		sc.MaxSimTime = 60 * units.Second
+	}
+	return sc
+}
+
+// Validate reports specification errors.
+func (sc Scenario) Validate() error {
+	sc = sc.withDefaults()
+	hostsPerDC := sc.Topo.Leaves * sc.Topo.ServersPerLeaf
+	okRef := func(h HostRef) bool {
+		return (h.DC == 0 || h.DC == 1) && h.Host >= 0 && h.Host < hostsPerDC
+	}
+	seen := make(map[netsim.FlowID]bool, len(sc.Flows))
+	if len(sc.Flows) == 0 {
+		return fmt.Errorf("workload: scenario has no flows")
+	}
+	for i, f := range sc.Flows {
+		switch {
+		case f.ID == 0 || f.ID >= 1<<20:
+			return fmt.Errorf("workload: flow %d: ID %d out of range [1, 1<<20)", i, f.ID)
+		case seen[f.ID]:
+			return fmt.Errorf("workload: duplicate flow ID %d", f.ID)
+		case !okRef(f.Src) || !okRef(f.Dst):
+			return fmt.Errorf("workload: flow %d: bad host ref %v->%v", i, f.Src, f.Dst)
+		case f.Src == f.Dst:
+			return fmt.Errorf("workload: flow %d: src == dst", i)
+		case f.Bytes <= 0:
+			return fmt.Errorf("workload: flow %d: no bytes", i)
+		case f.Start < 0:
+			return fmt.Errorf("workload: flow %d: negative start", i)
+		case f.Via != nil && !okRef(f.Via.At):
+			return fmt.Errorf("workload: flow %d: bad proxy ref %v", i, f.Via.At)
+		case f.Via != nil && f.Via.Scheme == Baseline:
+			return fmt.Errorf("workload: flow %d: Via with Baseline scheme is contradictory", i)
+		}
+		seen[f.ID] = true
+	}
+	return nil
+}
+
+// RunScenario simulates the scenario once.
+func RunScenario(sc Scenario) (*ScenarioResult, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	e := sim.New()
+	cfg := sc.Topo
+	cfg.Seed = sc.Seed
+	// Streamlined relaying needs trimming in each proxy's datacenter.
+	for _, f := range sc.Flows {
+		if f.Via != nil && f.Via.Scheme == ProxyStreamlined {
+			cfg.TrimDC[f.Via.At.DC] = true
+		}
+	}
+	net := topo.Build(e, cfg)
+	if sc.OnBuild != nil {
+		sc.OnBuild(net, e)
+	}
+	src := rng.New(sc.Seed)
+
+	// Fan-in counts size each flow's initial RTO: the first-window burst
+	// of every flow converging on the same destination (or proxy) queues
+	// behind one bottleneck link.
+	fanIn := make(map[HostRef]int)
+	for _, f := range sc.Flows {
+		fanIn[f.Dst]++
+		if f.Via != nil {
+			fanIn[f.Via.At]++
+		}
+	}
+
+	res := &ScenarioResult{Done: make(map[netsim.FlowID]units.Duration, len(sc.Flows))}
+	remaining := len(sc.Flows)
+	for _, f := range sc.Flows {
+		f := f
+		done := func(at units.Time) {
+			res.Done[f.ID] = units.Duration(at)
+			if units.Duration(at) > res.Makespan {
+				res.Makespan = units.Duration(at)
+			}
+			remaining--
+			if remaining == 0 {
+				e.Stop()
+			}
+		}
+		deg := fanIn[f.Dst]
+		if f.Via != nil && fanIn[f.Via.At] > deg {
+			deg = fanIn[f.Via.At]
+		}
+		start := wireFlow(e, net, src, f, sc.MSS, sc.ProxyProcDelay, deg, done)
+		e.Schedule(units.Time(f.Start), start)
+	}
+
+	e.RunUntil(units.Time(sc.MaxSimTime))
+	res.Completed = remaining == 0
+	res.Events = e.Processed()
+	if !res.Completed {
+		return res, fmt.Errorf("scenario incomplete after %v: %d flows unfinished",
+			sc.MaxSimTime, remaining)
+	}
+	return res, nil
+}
+
+// wireFlow installs endpoints for one flow and returns its start event.
+// fanIn is the number of flows converging on this flow's hottest hop,
+// used to size the initial RTO above self-inflicted first-window queueing.
+func wireFlow(e *sim.Engine, net *topo.Network, src *rng.Source, f FlowSpec,
+	mss units.ByteSize, procDelay rng.Distribution, fanIn int, done func(units.Time)) sim.Event {
+	sndHost := net.Hosts[f.Src.DC][f.Src.Host]
+	rcvHost := net.Hosts[f.Dst.DC][f.Dst.Host]
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	initRTO := func(rtt units.Duration, iw units.ByteSize) units.Duration {
+		return 3*rtt + net.Cfg.LinkRate.TransmitTime(units.ByteSize(fanIn)*iw)
+	}
+
+	if f.Via == nil {
+		rtt := net.PathRTT(sndHost, rcvHost, mss, netsim.ControlSize)
+		iw := net.BottleneckRate(sndHost, rcvHost).BDP(rtt)
+		c := transport.Config{MSS: mss, InitWindow: iw, ExpectedRTT: rtt, InitRTO: initRTO(rtt, iw)}
+		r := transport.NewReceiver(rcvHost, f.ID, sndHost.ID(), f.Bytes, done)
+		rcvHost.Bind(f.ID, r)
+		s := transport.NewSender(sndHost, f.ID, rcvHost.ID(), 0, f.Bytes, c, nil)
+		sndHost.Bind(f.ID, s)
+		return func(e *sim.Engine) { s.Start(e) }
+	}
+
+	prxHost := net.Hosts[f.Via.At.DC][f.Via.At.Host]
+	switch f.Via.Scheme {
+	case ProxyStreamlined:
+		rtt := net.PathRTT(sndHost, prxHost, mss, netsim.ControlSize) +
+			net.PathRTT(prxHost, rcvHost, mss, netsim.ControlSize)
+		iw := net.BottleneckRate(sndHost, rcvHost).BDP(rtt)
+		c := transport.Config{MSS: mss, InitWindow: iw, ExpectedRTT: rtt, InitRTO: initRTO(rtt, iw)}
+		p := proxy.NewStreamlined(prxHost, f.ID, sndHost.ID(), rcvHost.ID(), procDelay, src.Split(int64(f.ID)))
+		prxHost.Bind(f.ID, p)
+		r := transport.NewReceiver(rcvHost, f.ID, prxHost.ID(), f.Bytes, done)
+		rcvHost.Bind(f.ID, r)
+		s := transport.NewSender(sndHost, f.ID, prxHost.ID(), rcvHost.ID(), f.Bytes, c, nil)
+		sndHost.Bind(f.ID, s)
+		return func(e *sim.Engine) { s.Start(e) }
+
+	default: // ProxyNaive
+		downFlow := f.ID + netsim.FlowID(1)<<20
+		rttUp := net.PathRTT(sndHost, prxHost, mss, netsim.ControlSize)
+		rttDown := net.PathRTT(prxHost, rcvHost, mss, netsim.ControlSize)
+		iwUp := net.BottleneckRate(sndHost, prxHost).BDP(rttUp)
+		iwDown := net.BottleneckRate(prxHost, rcvHost).BDP(rttDown)
+		upCfg := transport.Config{MSS: mss, InitWindow: iwUp, ExpectedRTT: rttUp, InitRTO: initRTO(rttUp, iwUp)}
+		relay := proxy.NewNaive(prxHost, f.ID, downFlow, sndHost.ID(), rcvHost.ID(), proxy.NaiveConfig{
+			Total: f.Bytes,
+			DownCfg: transport.Config{
+				MSS:         mss,
+				InitWindow:  iwDown,
+				ExpectedRTT: rttDown,
+				InitRTO:     initRTO(rttDown, iwDown),
+			},
+		})
+		r := transport.NewReceiver(rcvHost, downFlow, prxHost.ID(), f.Bytes, done)
+		rcvHost.Bind(downFlow, r)
+		s := transport.NewSender(sndHost, f.ID, prxHost.ID(), 0, f.Bytes, upCfg, nil)
+		sndHost.Bind(f.ID, s)
+		return func(e *sim.Engine) {
+			relay.Start(e)
+			s.Start(e)
+		}
+	}
+}
