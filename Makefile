@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test check race fuzz chaos figures fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The CI gate: static analysis plus the full suite under the race detector
+# (the chaos, relay, and lan tests all exercise real concurrency).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the attacker-facing dial-preamble parser.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParsePreamble -fuzztime=30s ./internal/wire/
+
+# The fixed-seed proxy-failure scenarios (see EXPERIMENTS.md, "Chaos").
+chaos:
+	$(GO) test -run 'TestChaos|TestRunChaosThroughAPI' -v ./internal/workload/ .
+
+figures:
+	$(GO) run ./cmd/figures
+
+fmt:
+	gofmt -l .

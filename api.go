@@ -130,3 +130,29 @@ type Distribution = rng.Distribution
 
 // ConstantDelay returns a fixed-latency distribution.
 func ConstantDelay(d Duration) Distribution { return rng.Constant{D: d} }
+
+// Fault-injection and failover types: the robustness side of the proxy
+// argument. A ChaosSpec crashes the proxy mid-incast (optionally with an
+// inter-DC blackhole on top) and recovers via the chosen failover policy;
+// see internal/faults for the underlying injector.
+type (
+	// ChaosSpec describes a proxied incast with injected proxy failure.
+	ChaosSpec = workload.ChaosSpec
+	// ChaosResult reports one chaos run, fault timeline included.
+	ChaosResult = workload.ChaosResult
+	// FailoverMode picks what happens to flows stranded on a dead proxy.
+	FailoverMode = workload.FailoverMode
+)
+
+// The failover policies.
+const (
+	// FailoverNone leaves stranded flows to RTO against the dead proxy.
+	FailoverNone = workload.FailoverNone
+	// FailoverStandby re-homes stranded flows through a standby proxy.
+	FailoverStandby = workload.FailoverStandby
+	// FailoverDirect degrades stranded flows to the direct path.
+	FailoverDirect = workload.FailoverDirect
+)
+
+// RunChaos simulates one incast under proxy failure.
+func RunChaos(spec ChaosSpec) (*ChaosResult, error) { return workload.RunChaos(spec) }

@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incastproxy/internal/cliutil"
@@ -120,6 +121,8 @@ func runSource(relayAddr, target, sizeRaw string, conns int) {
 	per := int64(size) / int64(conns)
 
 	var wg sync.WaitGroup
+	var failed atomic.Int64
+	var pushed atomic.Int64
 	start := time.Now()
 	for i := 0; i < conns; i++ {
 		wg.Add(1)
@@ -134,6 +137,7 @@ func runSource(relayAddr, target, sizeRaw string, conns int) {
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "relayd: conn %d: %v\n", i, err)
+				failed.Add(1)
 				return
 			}
 			defer c.Close()
@@ -148,9 +152,11 @@ func runSource(relayAddr, target, sizeRaw string, conns int) {
 				sent += int64(wn)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "relayd: conn %d write: %v\n", i, err)
-					return
+					failed.Add(1)
+					break
 				}
 			}
+			pushed.Add(sent)
 			if cw, ok := c.(interface{ CloseWrite() error }); ok {
 				cw.CloseWrite()
 			}
@@ -158,10 +164,14 @@ func runSource(relayAddr, target, sizeRaw string, conns int) {
 	}
 	wg.Wait()
 	el := time.Since(start)
-	rate := float64(size) * 8 / el.Seconds() / 1e9
+	rate := float64(pushed.Load()) * 8 / el.Seconds() / 1e9
 	route := "direct"
 	if relayAddr != "" {
 		route = "via relay " + relayAddr
+	}
+	if n := failed.Load(); n > 0 {
+		fatal(fmt.Errorf("%d/%d conns failed; pushed %d of %v bytes %s",
+			n, conns, pushed.Load(), size, route))
 	}
 	fmt.Printf("relayd: pushed %v over %d conns %s in %v (%.2f Gbps aggregate)\n",
 		size, conns, route, el.Round(time.Millisecond), rate)

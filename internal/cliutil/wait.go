@@ -1,0 +1,30 @@
+package cliutil
+
+import "time"
+
+// WaitUntil polls cond every interval until it returns true or deadline
+// elapses, reporting whether cond became true. It replaces fixed
+// wall-clock sleeps in tests of the real-conn substrate: a sleep sized for
+// a loaded CI machine wastes time on a fast one and still flakes on a
+// slower one, while polling converges as soon as the condition holds and
+// fails only at the (generous) deadline.
+//
+// cond runs on the caller's goroutine; it must be safe to call repeatedly
+// and should do its own synchronization (atomics, mutexed reads).
+func WaitUntil(deadline, interval time.Duration, cond func() bool) bool {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	end := time.Now().Add(deadline)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(end) {
+			// One last look: cond may have flipped while we slept
+			// past the deadline.
+			return cond()
+		}
+		time.Sleep(interval)
+	}
+}

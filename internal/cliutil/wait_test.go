@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWaitUntilImmediateTrue(t *testing.T) {
+	calls := 0
+	if !WaitUntil(time.Second, time.Millisecond, func() bool { calls++; return true }) {
+		t.Fatal("immediately-true condition reported false")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestWaitUntilEventuallyTrue(t *testing.T) {
+	var flag atomic.Bool
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		flag.Store(true)
+	}()
+	if !WaitUntil(5*time.Second, time.Millisecond, flag.Load) {
+		t.Fatal("condition became true but WaitUntil missed it")
+	}
+}
+
+func TestWaitUntilDeadline(t *testing.T) {
+	start := time.Now()
+	if WaitUntil(20*time.Millisecond, time.Millisecond, func() bool { return false }) {
+		t.Fatal("never-true condition reported true")
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("returned after %v, before the deadline", el)
+	}
+}
+
+func TestWaitUntilZeroIntervalDefaults(t *testing.T) {
+	// interval <= 0 must not spin or panic.
+	n := 0
+	if !WaitUntil(time.Second, 0, func() bool { n++; return n >= 3 }) {
+		t.Fatal("condition not reached")
+	}
+}

@@ -1,0 +1,242 @@
+// Package faults implements deterministic fault injection for the packet
+// simulator: a seeded scheduler that drives link flaps, proxy-host
+// crash/restart cycles, transient blackholes, and packet corruption into a
+// running netsim fabric via sim engine events.
+//
+// The paper's proxy argument holds only while the proxy is healthy; this
+// package supplies the failure side of that argument. Every fault is an
+// (inject, clear) pair of engine events, so a run with a fixed seed and a
+// fixed fault plan is exactly reproducible — the property chaos tests and
+// EXPERIMENTS.md rely on. The injector records a timeline of everything it
+// actually did, and aggregates injected outage durations per fault class
+// into stats.Sample for telemetry.
+package faults
+
+import (
+	"fmt"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/rng"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/stats"
+	"incastproxy/internal/units"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// The fault classes.
+const (
+	// LinkFlap takes one link (both directions) down for a window.
+	LinkFlap Kind = iota
+	// HostCrash takes a host down (it neither sends nor receives),
+	// optionally restarting it later.
+	HostCrash
+	// Blackhole takes a set of ports down together — e.g. every long-haul
+	// link, silently eating all inter-DC traffic.
+	Blackhole
+	// Corruption destroys a random fraction of packets offered to a set
+	// of ports for a window.
+	Corruption
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkFlap:
+		return "link-flap"
+	case HostCrash:
+		return "host-crash"
+	case Blackhole:
+		return "blackhole"
+	case Corruption:
+		return "corruption"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Phase distinguishes the two edges of a fault window.
+type Phase int
+
+// Fault window edges.
+const (
+	// Injected marks the moment a fault takes effect.
+	Injected Phase = iota
+	// Cleared marks the moment it is lifted. Permanent faults never
+	// produce a Cleared event.
+	Cleared
+)
+
+func (p Phase) String() string {
+	if p == Injected {
+		return "inject"
+	}
+	return "clear"
+}
+
+// Event is one timeline entry: a fault edge that actually executed.
+type Event struct {
+	Kind   Kind
+	Phase  Phase
+	At     units.Time
+	Target string
+}
+
+func (ev Event) String() string {
+	return fmt.Sprintf("%v %v %s @%v", ev.Kind, ev.Phase, ev.Target, ev.At)
+}
+
+// Injector schedules faults on a simulation engine. Create with New; all
+// methods must be called before or during the run from the engine's own
+// event context (the simulator is single-threaded).
+type Injector struct {
+	engine *sim.Engine
+	src    *rng.Source
+
+	events []Event
+	active int
+
+	// Outages aggregates the duration of every *cleared* fault window per
+	// class — the raw material for recovery-time analysis alongside
+	// transport SenderStats.
+	Outages map[Kind]*stats.Sample
+}
+
+// New returns an injector whose random choices (flap times, corruption
+// coin-flips) derive deterministically from seed.
+func New(e *sim.Engine, seed int64) *Injector {
+	return &Injector{
+		engine: e,
+		src:    rng.New(seed),
+		Outages: map[Kind]*stats.Sample{
+			LinkFlap:   {},
+			HostCrash:  {},
+			Blackhole:  {},
+			Corruption: {},
+		},
+	}
+}
+
+// Timeline returns the fault edges executed so far, in execution order.
+func (in *Injector) Timeline() []Event { return in.events }
+
+// Active returns the number of currently-injected, not-yet-cleared faults.
+func (in *Injector) Active() int { return in.active }
+
+// Count returns how many faults of the given kind have been injected.
+func (in *Injector) Count(k Kind) int {
+	n := 0
+	for _, ev := range in.events {
+		if ev.Kind == k && ev.Phase == Injected {
+			n++
+		}
+	}
+	return n
+}
+
+func (in *Injector) record(k Kind, p Phase, target string) {
+	in.events = append(in.events, Event{Kind: k, Phase: p, At: in.engine.Now(), Target: target})
+	if p == Injected {
+		in.active++
+	} else {
+		in.active--
+	}
+}
+
+// schedule registers an (inject, clear) pair. dur <= 0 means permanent.
+func (in *Injector) schedule(k Kind, target string, at units.Time,
+	dur units.Duration, inject, clear func()) {
+	in.engine.Schedule(at, func(e *sim.Engine) {
+		inject()
+		in.record(k, Injected, target)
+		if dur <= 0 {
+			return
+		}
+		e.After(dur, func(*sim.Engine) {
+			clear()
+			in.record(k, Cleared, target)
+			in.Outages[k].AddDuration(dur)
+		})
+	})
+}
+
+// FlapLink takes both directions of the link through pa down at time at for
+// dur (dur <= 0: a permanent cut). pa may be either side; its peer goes down
+// too.
+func (in *Injector) FlapLink(pa *netsim.Port, at units.Time, dur units.Duration) {
+	ports := []*netsim.Port{pa, pa.Peer()}
+	in.schedule(LinkFlap, pa.Label(), at, dur,
+		func() { setDown(ports, true) },
+		func() { setDown(ports, false) })
+}
+
+// CrashHost crashes h at time at; restartAfter > 0 schedules a restart that
+// much later, otherwise the host stays dead. Flow bindings survive the
+// restart (netsim.Host semantics); any endpoint state lost in the modelled
+// crash is the experiment's to reset.
+func (in *Injector) CrashHost(h *netsim.Host, at units.Time, restartAfter units.Duration) {
+	in.schedule(HostCrash, h.Name(), at, restartAfter,
+		func() { h.SetDown(true) },
+		func() { h.SetDown(false) })
+}
+
+// BlackholePorts takes every listed port down together at time at for dur
+// (dur <= 0: permanent). Use it for region-scale failures: pass every
+// spine<->backbone port for a full inter-DC blackhole.
+func (in *Injector) BlackholePorts(label string, ports []*netsim.Port, at units.Time, dur units.Duration) {
+	in.schedule(Blackhole, label, at, dur,
+		func() { setDown(ports, true) },
+		func() { setDown(ports, false) })
+}
+
+// CorruptPorts destroys each packet offered to any listed port with
+// probability rate during [at, at+dur) (dur <= 0: forever). The coin flips
+// come from the injector's seeded source, so runs are reproducible.
+func (in *Injector) CorruptPorts(label string, ports []*netsim.Port, rate float64,
+	at units.Time, dur units.Duration) {
+	if rate < 0 {
+		rate = 0
+	}
+	src := in.src.Split(int64(len(in.events))*31 + int64(at))
+	pred := func(*netsim.Packet) bool { return src.Float64() < rate }
+	in.schedule(Corruption, label, at, dur,
+		func() {
+			for _, p := range ports {
+				p.SetCorrupt(pred)
+			}
+		},
+		func() {
+			for _, p := range ports {
+				p.SetCorrupt(nil)
+			}
+		})
+}
+
+// RandomLinkFlaps schedules n flaps at seeded-random times in [0, window),
+// each on a seeded-random link from links, lasting a seeded-random duration
+// in [minDur, maxDur]. The same seed and arguments always produce the same
+// plan.
+func (in *Injector) RandomLinkFlaps(links []*netsim.Port, n int, window units.Duration,
+	minDur, maxDur units.Duration) {
+	if len(links) == 0 || n <= 0 || window <= 0 {
+		return
+	}
+	if maxDur < minDur {
+		maxDur = minDur
+	}
+	for i := 0; i < n; i++ {
+		at := units.Time(in.src.Int63() % int64(window))
+		link := links[in.src.Intn(len(links))]
+		dur := minDur
+		if span := int64(maxDur - minDur); span > 0 {
+			dur += units.Duration(in.src.Int63() % (span + 1))
+		}
+		in.FlapLink(link, at, dur)
+	}
+}
+
+func setDown(ports []*netsim.Port, down bool) {
+	for _, p := range ports {
+		p.SetDown(down)
+	}
+}

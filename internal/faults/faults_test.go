@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+// sink is a minimal receiving node.
+type sink struct {
+	id      netsim.NodeID
+	arrived int
+}
+
+func (s *sink) ID() netsim.NodeID { return s.id }
+func (s *sink) Name() string      { return "sink" }
+func (s *sink) Receive(*sim.Engine, *netsim.Packet, *netsim.Port) {
+	s.arrived++
+}
+
+func pkt(seq int64) *netsim.Packet {
+	return &netsim.Packet{ID: uint64(seq), Seq: seq, Kind: netsim.Data, Size: 1500, FullSize: 1500}
+}
+
+func link(t *testing.T) (*sim.Engine, *sink, *sink, *netsim.Port) {
+	t.Helper()
+	e := sim.New()
+	a, b := &sink{id: 1}, &sink{id: 2}
+	pa, _ := netsim.Connect(a, b, 100*units.Gbps, units.Microsecond,
+		netsim.QueueConfig{}, netsim.QueueConfig{}, nil)
+	return e, a, b, pa
+}
+
+func TestFlapLinkWindow(t *testing.T) {
+	e, _, b, pa := link(t)
+	in := New(e, 1)
+
+	const at = units.Time(10 * units.Microsecond)
+	const dur = 20 * units.Microsecond
+	in.FlapLink(pa, at, dur)
+
+	// Before the flap: delivered. During: dropped. After: delivered.
+	send := func(when units.Time, seq int64) {
+		e.Schedule(when, func(e *sim.Engine) { pa.Send(e, pkt(seq)) })
+	}
+	send(0, 1)
+	send(at.Add(units.Microsecond), 2)
+	send(at.Add(dur+units.Microsecond), 3)
+	e.Run()
+
+	if b.arrived != 2 {
+		t.Fatalf("arrived = %d, want 2", b.arrived)
+	}
+	tl := in.Timeline()
+	if len(tl) != 2 || tl[0].Phase != Injected || tl[1].Phase != Cleared {
+		t.Fatalf("timeline = %v", tl)
+	}
+	if in.Active() != 0 {
+		t.Fatalf("active = %d after clear", in.Active())
+	}
+	if n := in.Outages[LinkFlap].N(); n != 1 {
+		t.Fatalf("outage samples = %d", n)
+	}
+}
+
+func TestFlapTakesBothDirectionsDown(t *testing.T) {
+	e, a, _, pa := link(t)
+	in := New(e, 1)
+	in.FlapLink(pa, 0, 0) // permanent cut
+	e.Schedule(units.Time(units.Microsecond), func(e *sim.Engine) {
+		pa.Peer().Send(e, pkt(1))
+	})
+	e.Run()
+	if a.arrived != 0 {
+		t.Fatal("reverse direction survived a full link cut")
+	}
+	if in.Active() != 1 {
+		t.Fatal("permanent fault should stay active")
+	}
+}
+
+func TestCrashHostRestart(t *testing.T) {
+	e := sim.New()
+	h := netsim.NewHost(1, "proxy", nil)
+	peer := &sink{id: 2}
+	_, pb := netsim.Connect(h, peer, 100*units.Gbps, units.Microsecond,
+		netsim.QueueConfig{}, netsim.QueueConfig{}, nil)
+	got := 0
+	h.SetCatchAll(netsim.EndpointFunc(func(*sim.Engine, *netsim.Packet) { got++ }))
+
+	in := New(e, 1)
+	const at = units.Time(5 * units.Microsecond)
+	in.CrashHost(h, at, 10*units.Microsecond)
+
+	send := func(when units.Time, seq int64) {
+		e.Schedule(when, func(e *sim.Engine) { pb.Send(e, pkt(seq)) })
+	}
+	send(0, 1)                            // before crash: delivered
+	send(at.Add(units.Microsecond), 2)    // during: vanishes at the host
+	send(at.Add(12*units.Microsecond), 3) // after restart: delivered
+	e.Run()
+
+	if got != 2 {
+		t.Fatalf("delivered = %d, want 2", got)
+	}
+	if h.Down() {
+		t.Fatal("host should have restarted")
+	}
+	if in.Count(HostCrash) != 1 {
+		t.Fatalf("crash count = %d", in.Count(HostCrash))
+	}
+}
+
+func TestCorruptPortsWindowAndDeterminism(t *testing.T) {
+	run := func(seed int64) (delivered int, corrupted uint64) {
+		e, _, b, pa := link(t)
+		in := New(e, seed)
+		in.CorruptPorts("a->b", []*netsim.Port{pa}, 0.5, 0, 100*units.Microsecond)
+		for i := 0; i < 200; i++ {
+			seq := int64(i)
+			e.Schedule(units.Time(i)*units.Time(100*units.Nanosecond),
+				func(e *sim.Engine) { pa.Send(e, pkt(seq)) })
+		}
+		// After the window clears, packets pass untouched.
+		e.Schedule(units.Time(200*units.Microsecond), func(e *sim.Engine) { pa.Send(e, pkt(999)) })
+		e.Run()
+		return b.arrived, pa.Stats().Corrupted
+	}
+
+	d1, c1 := run(42)
+	d2, c2 := run(42)
+	if d1 != d2 || c1 != c2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, c1, d2, c2)
+	}
+	if c1 == 0 || c1 == 200 {
+		t.Fatalf("corrupted = %d, want a strict subset of 200", c1)
+	}
+	if d1 != 201-int(c1) {
+		t.Fatalf("delivered = %d with %d corrupted", d1, c1)
+	}
+}
+
+func TestBlackholePortsTakesSetDownTogether(t *testing.T) {
+	e := sim.New()
+	a, b, c := &sink{id: 1}, &sink{id: 2}, &sink{id: 3}
+	pab, _ := netsim.Connect(a, b, 100*units.Gbps, 0, netsim.QueueConfig{}, netsim.QueueConfig{}, nil)
+	pac, _ := netsim.Connect(a, c, 100*units.Gbps, 0, netsim.QueueConfig{}, netsim.QueueConfig{}, nil)
+
+	in := New(e, 1)
+	in.BlackholePorts("region", []*netsim.Port{pab, pac}, 0, 10*units.Microsecond)
+	e.Schedule(units.Time(units.Microsecond), func(e *sim.Engine) {
+		pab.Send(e, pkt(1))
+		pac.Send(e, pkt(2))
+	})
+	e.Schedule(units.Time(20*units.Microsecond), func(e *sim.Engine) {
+		pab.Send(e, pkt(3))
+		pac.Send(e, pkt(4))
+	})
+	e.Run()
+	if b.arrived != 1 || c.arrived != 1 {
+		t.Fatalf("arrived b=%d c=%d, want 1 each", b.arrived, c.arrived)
+	}
+}
+
+func TestRandomLinkFlapsDeterministic(t *testing.T) {
+	plan := func(seed int64) []Event {
+		e, _, _, pa := link(t)
+		in := New(e, seed)
+		in.RandomLinkFlaps([]*netsim.Port{pa}, 5, 10*units.Millisecond,
+			10*units.Microsecond, 100*units.Microsecond)
+		e.Run()
+		return in.Timeline()
+	}
+	a, b := plan(7), plan(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different timelines:\n%v\n%v", a, b)
+	}
+	if len(a) != 10 { // 5 flaps x (inject + clear)
+		t.Fatalf("timeline has %d events, want 10", len(a))
+	}
+	if c := plan(8); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}

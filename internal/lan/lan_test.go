@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"incastproxy/internal/cliutil"
 	"incastproxy/internal/units"
 )
 
@@ -101,13 +102,17 @@ func TestPipeDuplex(t *testing.T) {
 
 func TestPipeCloseUnblocksReader(t *testing.T) {
 	a, b := Pipe(PipeConfig{}, "a", "b")
+	// No sleep needed: whether Close lands before or after the Read
+	// blocks, the reader must come back with EOF/ErrClosedPipe.
+	started := make(chan struct{})
 	errc := make(chan error, 1)
 	go func() {
+		close(started)
 		buf := make([]byte, 1)
 		_, err := b.Read(buf)
 		errc <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	<-started
 	a.Close()
 	select {
 	case err := <-errc:
@@ -122,9 +127,13 @@ func TestPipeCloseUnblocksReader(t *testing.T) {
 func TestPipeWriteAfterPeerClose(t *testing.T) {
 	a, b := Pipe(PipeConfig{}, "a", "b")
 	b.Close()
-	time.Sleep(5 * time.Millisecond)
-	if _, err := a.Write([]byte("x")); err == nil {
-		t.Fatal("write to closed peer should fail")
+	// Close propagation is asynchronous: poll until a write fails instead
+	// of guessing a propagation delay.
+	if !cliutil.WaitUntil(5*time.Second, time.Millisecond, func() bool {
+		_, err := a.Write([]byte("x"))
+		return err != nil
+	}) {
+		t.Fatal("write to closed peer never failed")
 	}
 }
 
@@ -201,12 +210,16 @@ func TestFabricDuplicateListen(t *testing.T) {
 func TestFabricListenerCloseUnblocksAccept(t *testing.T) {
 	f := NewFabric(PipeConfig{})
 	l, _ := f.Listen("x")
+	// Handshake instead of a sleep: Close before or after Accept blocks
+	// must both surface net.ErrClosed.
+	started := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
+		close(started)
 		_, err := l.Accept()
 		done <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	<-started
 	l.Close()
 	select {
 	case err := <-done:

@@ -50,6 +50,75 @@ func TestPortDownIsPerDirection(t *testing.T) {
 	}
 }
 
+func TestHostSetDownDropsBothDirections(t *testing.T) {
+	e := sim.New()
+	h := NewHost(1, "h", nil)
+	peer := &sinkNode{id: 2}
+	_, pb := Connect(h, peer, 100*units.Gbps, units.Microsecond, QueueConfig{}, QueueConfig{}, nil)
+
+	got := 0
+	h.SetCatchAll(EndpointFunc(func(*sim.Engine, *Packet) { got++ }))
+
+	h.SetDown(true)
+	if !h.Down() {
+		t.Fatal("Down() should report crash")
+	}
+	// Inbound packets vanish.
+	pb.Send(e, dataPkt(1, 1500))
+	e.Run()
+	if got != 0 {
+		t.Fatal("crashed host received a packet")
+	}
+	// Outbound sends are swallowed.
+	h.Send(e, dataPkt(2, 1500))
+	e.Run()
+	if len(peer.arrived) != 0 {
+		t.Fatal("crashed host transmitted a packet")
+	}
+	if h.DroppedDown != 2 {
+		t.Fatalf("DroppedDown = %d, want 2", h.DroppedDown)
+	}
+
+	// Restart: traffic flows again and bindings survive.
+	h.SetDown(false)
+	pb.Send(e, dataPkt(3, 1500))
+	h.Send(e, dataPkt(4, 1500))
+	e.Run()
+	if got != 1 || len(peer.arrived) != 1 {
+		t.Fatalf("restarted host: got=%d sent=%d", got, len(peer.arrived))
+	}
+}
+
+func TestPortCorruptionDestroysMatchedPackets(t *testing.T) {
+	e := sim.New()
+	a := &sinkNode{id: 1}
+	b := &sinkNode{id: 2}
+	pa, _ := Connect(a, b, 100*units.Gbps, units.Microsecond, QueueConfig{}, QueueConfig{}, nil)
+
+	// Corrupt every even-seq packet.
+	pa.SetCorrupt(func(p *Packet) bool { return p.Seq%2 == 0 })
+	for i := 0; i < 6; i++ {
+		pkt := dataPkt(uint64(i), 1500)
+		pkt.Seq = int64(i)
+		pa.Send(e, pkt)
+	}
+	e.Run()
+	if len(b.arrived) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(b.arrived))
+	}
+	if pa.Stats().Corrupted != 3 {
+		t.Fatalf("corrupted = %d, want 3", pa.Stats().Corrupted)
+	}
+
+	// Clearing the predicate restores clean delivery.
+	pa.SetCorrupt(nil)
+	pa.Send(e, dataPkt(100, 1500))
+	e.Run()
+	if len(b.arrived) != 4 {
+		t.Fatal("cleared corruption still destroying packets")
+	}
+}
+
 func TestPacketsInFlightSurviveCut(t *testing.T) {
 	e := sim.New()
 	a := &sinkNode{id: 1}

@@ -101,9 +101,13 @@ type Host struct {
 	nic       *Port
 	endpoints map[FlowID]Endpoint
 	catchAll  Endpoint
+	down      bool
 	// Unclaimed counts packets that matched no endpoint.
 	Unclaimed uint64
-	nextPkt   *uint64
+	// DroppedDown counts packets discarded (in either direction) while the
+	// host was crashed.
+	DroppedDown uint64
+	nextPkt     *uint64
 }
 
 // NewHost returns a host. pktIDs is the shared packet-ID counter for the
@@ -140,6 +144,16 @@ func (h *Host) Unbind(f FlowID) { delete(h.endpoints, f) }
 // SetCatchAll installs an endpoint for packets with no flow binding.
 func (h *Host) SetCatchAll(ep Endpoint) { h.catchAll = ep }
 
+// SetDown crashes (true) or restarts (false) the host. While down the host
+// neither receives nor transmits: arriving packets vanish and Send becomes a
+// no-op — the failure primitive behind proxy-crash injection. Flow bindings
+// survive a restart (endpoint state is the caller's to reset if the modelled
+// failure loses it).
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports whether the host is crashed.
+func (h *Host) Down() bool { return h.down }
+
 // NewPacket allocates a packet originating at this host with a unique ID.
 func (h *Host) NewPacket() *Packet {
 	*h.nextPkt++
@@ -148,11 +162,19 @@ func (h *Host) NewPacket() *Packet {
 
 // Send transmits pkt out of the host NIC.
 func (h *Host) Send(e *sim.Engine, pkt *Packet) {
+	if h.down {
+		h.DroppedDown++
+		return
+	}
 	h.nic.Send(e, pkt)
 }
 
 // Receive implements Node: demultiplex to the flow's endpoint.
 func (h *Host) Receive(e *sim.Engine, p *Packet, _ *Port) {
+	if h.down {
+		h.DroppedDown++
+		return
+	}
 	if ep, ok := h.endpoints[p.Flow]; ok {
 		ep.Handle(e, p)
 		return

@@ -20,14 +20,15 @@ type Node interface {
 // queue in front of a serializing link. Two ports form a full-duplex link
 // via Connect; each direction has its own queue and busy state.
 type Port struct {
-	owner Node
-	peer  *Port
-	rate  units.BitRate
-	delay units.Duration
-	q     *queue
-	busy  bool
-	down  bool
-	label string
+	owner   Node
+	peer    *Port
+	rate    units.BitRate
+	delay   units.Duration
+	q       *queue
+	busy    bool
+	down    bool
+	corrupt func(*Packet) bool
+	label   string
 }
 
 // Connect joins a and b with a full-duplex link of the given rate and
@@ -85,11 +86,22 @@ func (p *Port) SetDown(down bool) { p.down = down }
 // Down reports whether the egress direction is failed.
 func (p *Port) Down() bool { return p.down }
 
+// SetCorrupt installs a per-packet corruption predicate: every packet
+// offered to the port for which fn returns true is destroyed (a corrupted
+// frame fails its FCS at the far end and is never delivered). fn is invoked
+// once per offered packet, so a seeded random predicate stays deterministic.
+// Pass nil to clear.
+func (p *Port) SetCorrupt(fn func(*Packet) bool) { p.corrupt = fn }
+
 // Send enqueues pkt for transmission out of this port. Drops and trims are
 // applied by the queue according to its configuration.
 func (p *Port) Send(e *sim.Engine, pkt *Packet) {
 	if p.down {
 		p.q.Stats.Dropped++
+		return
+	}
+	if p.corrupt != nil && p.corrupt(pkt) {
+		p.q.Stats.Corrupted++
 		return
 	}
 	if !p.q.enqueue(pkt) {

@@ -32,6 +32,7 @@ type QueueStats struct {
 	Dropped   uint64
 	Trimmed   uint64
 	Marked    uint64
+	Corrupted uint64         // packets destroyed by an injected corruption fault
 	MaxBytes  units.ByteSize // high-watermark of data-queue occupancy
 	BytesSeen units.ByteSize // total bytes accepted
 }

@@ -1,0 +1,148 @@
+package orchestrator
+
+// Failure handling: the orchestrator's global view must include liveness,
+// or it keeps steering incasts at a dead proxy. A proxy marked down is
+// excluded from Decide/DecideDecentralized, and the incasts already placed
+// on it are re-homed — to the least-loaded healthy proxy in the same
+// datacenter when one exists, otherwise back to the direct path (the
+// paper's baseline: slower, but it completes).
+
+import (
+	"fmt"
+	"sort"
+
+	"incastproxy/internal/workload"
+)
+
+// PlacementID names one placement made by Decide/DecideDecentralized.
+type PlacementID uint64
+
+// Placement records where one incast was placed.
+type Placement struct {
+	ID    PlacementID
+	Proxy workload.HostRef
+	Req   Request
+}
+
+// Replacement is Failover's verdict for one stranded incast.
+type Replacement struct {
+	ID   PlacementID
+	From workload.HostRef
+	// To is the replacement placement: UseProxy false means no healthy
+	// proxy remained and the incast must run direct.
+	To Decision
+}
+
+// MarkDown marks ref unhealthy: it is skipped by subsequent selection and
+// its standing assignments become candidates for Failover. Reports whether
+// the proxy was known.
+func (o *Orchestrator) MarkDown(ref workload.HostRef) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.proxies[ref]
+	if !ok {
+		return false
+	}
+	st.down = true
+	return true
+}
+
+// MarkUp restores a proxy to the candidate pool (load counters intact).
+func (o *Orchestrator) MarkUp(ref workload.HostRef) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.proxies[ref]
+	if !ok {
+		return false
+	}
+	st.down = false
+	return true
+}
+
+// Healthy reports whether ref is registered and not marked down.
+func (o *Orchestrator) Healthy(ref workload.HostRef) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.proxies[ref]
+	return ok && !st.down
+}
+
+// Assignments returns the standing assignments on ref, ordered by ID.
+func (o *Orchestrator) Assignments(ref workload.HostRef) []Placement {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.assignmentsLocked(ref)
+}
+
+func (o *Orchestrator) assignmentsLocked(ref workload.HostRef) []Placement {
+	var out []Placement
+	for _, a := range o.assigned {
+		if a.Proxy == ref {
+			out = append(out, *a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Release frees a tracked assignment when its incast completes. Complete
+// remains for callers that track only aggregate load.
+func (o *Orchestrator) Release(id PlacementID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if a, ok := o.assigned[id]; ok {
+		o.unassign(a)
+	}
+}
+
+// Failover marks ref down and re-homes every incast stranded on it: each is
+// reassigned to the least-loaded healthy proxy in its own sending
+// datacenter, rebalancing load across survivors as it goes; when no healthy
+// proxy remains, the verdict is a direct-path fallback and the assignment is
+// dropped from tracking. Replacements are processed and returned in ID
+// order, so a fixed scenario fails over the same way every run.
+func (o *Orchestrator) Failover(ref workload.HostRef) []Replacement {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if st, ok := o.proxies[ref]; ok {
+		st.down = true
+	}
+	stranded := o.assignmentsLocked(ref)
+	out := make([]Replacement, 0, len(stranded))
+	for _, a := range stranded {
+		old := o.assigned[a.ID]
+		o.unassign(old)
+		re := Replacement{ID: a.ID, From: ref}
+		if best := o.bestHealthyLocked(a.Req.SenderDC); best != nil {
+			id := o.assign(best, a.Req)
+			re.To = Decision{
+				UseProxy:   true,
+				Proxy:      best.info.Ref,
+				Scheme:     schemeOf(a.Req),
+				Reason:     fmt.Sprintf("failover from downed proxy %v", ref),
+				Assignment: id,
+			}
+		} else {
+			re.To = Decision{
+				UseProxy: false,
+				Reason:   fmt.Sprintf("no healthy proxy left in DC %d: direct fallback", a.Req.SenderDC),
+			}
+		}
+		out = append(out, re)
+	}
+	return out
+}
+
+func (o *Orchestrator) bestHealthyLocked(dc int) *proxyState {
+	var best *proxyState
+	for _, ref := range o.order {
+		st := o.proxies[ref]
+		if st.info.Ref.DC != dc || st.down {
+			continue
+		}
+		if best == nil || less(st, best) {
+			best = st
+		}
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"incastproxy/internal/units"
+	"incastproxy/internal/workload"
+)
+
+func threeProxies(t *testing.T) (*Orchestrator, [3]workload.HostRef) {
+	t.Helper()
+	o := New(1)
+	refs := [3]workload.HostRef{
+		{DC: 0, Host: 60}, {DC: 0, Host: 61}, {DC: 0, Host: 62},
+	}
+	for _, r := range refs {
+		o.Register(Proxy{Ref: r, Capacity: 100 * units.Gbps})
+	}
+	return o, refs
+}
+
+func TestDecideSkipsDownProxy(t *testing.T) {
+	o, refs := threeProxies(t)
+	if !o.MarkDown(refs[0]) {
+		t.Fatal("MarkDown on a registered proxy returned false")
+	}
+	for i := 0; i < 6; i++ {
+		d, err := o.Decide(bigReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Proxy == refs[0] {
+			t.Fatalf("decision %d placed an incast on the downed proxy", i)
+		}
+	}
+	dd, err := o.DecideDecentralized(bigReq(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Proxy == refs[0] {
+		t.Fatal("decentralized decision used the downed proxy")
+	}
+	if o.Healthy(refs[0]) || !o.Healthy(refs[1]) {
+		t.Fatal("Healthy disagrees with MarkDown")
+	}
+	o.MarkUp(refs[0])
+	if !o.Healthy(refs[0]) {
+		t.Fatal("MarkUp did not restore health")
+	}
+}
+
+func TestAllProxiesDownIsNoProxies(t *testing.T) {
+	o, refs := threeProxies(t)
+	for _, r := range refs {
+		o.MarkDown(r)
+	}
+	if _, err := o.Decide(bigReq()); err != ErrNoProxies {
+		t.Fatalf("err = %v, want ErrNoProxies", err)
+	}
+	if _, err := o.DecideDecentralized(bigReq(), 2); err != ErrNoProxies {
+		t.Fatalf("decentralized err = %v, want ErrNoProxies", err)
+	}
+}
+
+func TestFailoverReassignsToStandby(t *testing.T) {
+	o, _ := threeProxies(t)
+
+	// Three incasts; least-loaded rotation places one on each proxy.
+	var placed []Decision
+	for i := 0; i < 3; i++ {
+		d, err := o.Decide(bigReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed = append(placed, d)
+	}
+	victim := placed[0].Proxy
+	if got := o.Assignments(victim); len(got) != 1 {
+		t.Fatalf("assignments on victim = %d, want 1", len(got))
+	}
+
+	res := o.Failover(victim)
+	if len(res) != 1 {
+		t.Fatalf("replacements = %d, want 1", len(res))
+	}
+	re := res[0]
+	if re.From != victim || !re.To.UseProxy || re.To.Proxy == victim {
+		t.Fatalf("bad replacement: %+v", re)
+	}
+	if re.To.Assignment == 0 || re.To.Assignment == re.ID {
+		t.Fatalf("replacement must carry a fresh placement id, got %v (old %v)",
+			re.To.Assignment, re.ID)
+	}
+	// Books rebalanced: victim drained, survivor carries the extra load.
+	if act, com, _ := o.Load(victim); act != 0 || com != 0 {
+		t.Fatalf("victim load after failover: active=%d committed=%v", act, com)
+	}
+	act, _, _ := o.Load(re.To.Proxy)
+	if act != 2 {
+		t.Fatalf("standby active = %d, want 2 (own incast + failed-over)", act)
+	}
+	// The downed proxy stays out of future decisions.
+	if d, err := o.Decide(bigReq()); err != nil || d.Proxy == victim {
+		t.Fatalf("post-failover decision: %+v, %v", d, err)
+	}
+}
+
+func TestFailoverFallsBackDirectWhenNoStandby(t *testing.T) {
+	o := New(1)
+	only := workload.HostRef{DC: 0, Host: 60}
+	o.Register(Proxy{Ref: only, Capacity: 100 * units.Gbps})
+	d, err := o.Decide(bigReq())
+	if err != nil || !d.UseProxy {
+		t.Fatalf("%+v, %v", d, err)
+	}
+
+	res := o.Failover(only)
+	if len(res) != 1 {
+		t.Fatalf("replacements = %d", len(res))
+	}
+	if res[0].To.UseProxy {
+		t.Fatalf("no standby exists, yet failover proxied: %+v", res[0].To)
+	}
+	if len(o.Assignments(only)) != 0 {
+		t.Fatal("direct-fallback placement still tracked on the dead proxy")
+	}
+}
+
+func TestReleaseFreesPlacement(t *testing.T) {
+	o, _ := threeProxies(t)
+	d, err := o.Decide(bigReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, com, _ := o.Load(d.Proxy)
+	if act != 1 || com == 0 {
+		t.Fatalf("load after decide: %d, %v", act, com)
+	}
+	o.Release(d.Assignment)
+	if act, com, _ := o.Load(d.Proxy); act != 0 || com != 0 {
+		t.Fatalf("load after release: %d, %v", act, com)
+	}
+	// Double release is harmless.
+	o.Release(d.Assignment)
+	if len(o.Assignments(d.Proxy)) != 0 {
+		t.Fatal("released placement still tracked")
+	}
+}
+
+func TestFailoverDeterministicOrder(t *testing.T) {
+	run := func() []Replacement {
+		o, refs := threeProxies(t)
+		// Force several incasts onto refs[0] by downing the others first.
+		o.MarkDown(refs[1])
+		o.MarkDown(refs[2])
+		for i := 0; i < 4; i++ {
+			if _, err := o.Decide(bigReq()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o.MarkUp(refs[1])
+		o.MarkUp(refs[2])
+		return o.Failover(refs[0])
+	}
+	a, b := run(), run()
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("replacements = %d, %d, want 4 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].To.Proxy != b[i].To.Proxy {
+			t.Fatalf("run diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Rebalance, not pile-on: 4 stranded incasts over 2 survivors -> 2+2.
+	seen := map[workload.HostRef]int{}
+	for _, re := range a {
+		seen[re.To.Proxy]++
+	}
+	for ref, n := range seen {
+		if n != 2 {
+			t.Fatalf("survivor %v got %d incasts, want 2", ref, n)
+		}
+	}
+}

@@ -58,20 +58,27 @@ type Decision struct {
 	// Probes counts remote load queries performed (decentralized mode's
 	// communication overhead).
 	Probes int
+	// Assignment identifies this placement for failover bookkeeping
+	// (zero when UseProxy is false). Pass it to Release when the incast
+	// completes; Failover reuses it to re-home stranded incasts.
+	Assignment PlacementID
 }
 
 type proxyState struct {
 	info      Proxy
 	active    int
 	committed units.ByteSize
+	down      bool
 }
 
 // Orchestrator tracks proxies and assigns incasts to them.
 type Orchestrator struct {
-	mu      sync.Mutex
-	proxies map[workload.HostRef]*proxyState
-	order   []workload.HostRef // stable iteration for determinism
-	src     *rng.Source
+	mu       sync.Mutex
+	proxies  map[workload.HostRef]*proxyState
+	order    []workload.HostRef // stable iteration for determinism
+	src      *rng.Source
+	nextID   PlacementID
+	assigned map[PlacementID]*Placement
 }
 
 // Errors returned by selection.
@@ -82,8 +89,9 @@ var (
 // New returns an orchestrator; seed drives decentralized sampling.
 func New(seed int64) *Orchestrator {
 	return &Orchestrator{
-		proxies: make(map[workload.HostRef]*proxyState),
-		src:     rng.New(seed),
+		proxies:  make(map[workload.HostRef]*proxyState),
+		src:      rng.New(seed),
+		assigned: make(map[PlacementID]*Placement),
 	}
 }
 
@@ -142,7 +150,7 @@ func (o *Orchestrator) Decide(req Request) (Decision, error) {
 	probes := 0
 	for _, ref := range o.order {
 		st := o.proxies[ref]
-		if st.info.Ref.DC != req.SenderDC {
+		if st.info.Ref.DC != req.SenderDC || st.down {
 			continue
 		}
 		probes++
@@ -153,13 +161,14 @@ func (o *Orchestrator) Decide(req Request) (Decision, error) {
 	if best == nil {
 		return Decision{}, ErrNoProxies
 	}
-	o.assign(best, req)
+	id := o.assign(best, req)
 	return Decision{
-		UseProxy: true,
-		Proxy:    best.info.Ref,
-		Scheme:   schemeOf(req),
-		Reason:   "least-loaded proxy (global view)",
-		Probes:   probes,
+		UseProxy:   true,
+		Proxy:      best.info.Ref,
+		Scheme:     schemeOf(req),
+		Reason:     "least-loaded proxy (global view)",
+		Probes:     probes,
+		Assignment: id,
 	}, nil
 }
 
@@ -177,7 +186,7 @@ func (o *Orchestrator) DecideDecentralized(req Request, trials int) (Decision, e
 	defer o.mu.Unlock()
 	var candidates []*proxyState
 	for _, ref := range o.order {
-		if st := o.proxies[ref]; st.info.Ref.DC == req.SenderDC {
+		if st := o.proxies[ref]; st.info.Ref.DC == req.SenderDC && !st.down {
 			candidates = append(candidates, st)
 		}
 	}
@@ -193,13 +202,14 @@ func (o *Orchestrator) DecideDecentralized(req Request, trials int) (Decision, e
 			best = st
 		}
 	}
-	o.assign(best, req)
+	id := o.assign(best, req)
 	return Decision{
-		UseProxy: true,
-		Proxy:    best.info.Ref,
-		Scheme:   schemeOf(req),
-		Reason:   fmt.Sprintf("best of %d sampled proxies (decentralized)", trials),
-		Probes:   probes,
+		UseProxy:   true,
+		Proxy:      best.info.Ref,
+		Scheme:     schemeOf(req),
+		Reason:     fmt.Sprintf("best of %d sampled proxies (decentralized)", trials),
+		Probes:     probes,
+		Assignment: id,
 	}, nil
 }
 
@@ -220,9 +230,26 @@ func (o *Orchestrator) Complete(ref workload.HostRef, bytes units.ByteSize) {
 	}
 }
 
-func (o *Orchestrator) assign(st *proxyState, req Request) {
+func (o *Orchestrator) assign(st *proxyState, req Request) PlacementID {
 	st.active++
 	st.committed += req.Bytes
+	o.nextID++
+	id := o.nextID
+	o.assigned[id] = &Placement{ID: id, Proxy: st.info.Ref, Req: req}
+	return id
+}
+
+func (o *Orchestrator) unassign(a *Placement) {
+	if st, ok := o.proxies[a.Proxy]; ok {
+		if st.active > 0 {
+			st.active--
+		}
+		st.committed -= a.Req.Bytes
+		if st.committed < 0 {
+			st.committed = 0
+		}
+	}
+	delete(o.assigned, a.ID)
 }
 
 func less(a, b *proxyState) bool {

@@ -1,0 +1,251 @@
+package relay
+
+// Client-side resilience: the relay shortens the control loop only while it
+// is reachable, so a sender that insists on the relay when the relay is dead
+// turns a performance optimization into an availability bug. Client wraps
+// DialViaRelay with a retry policy (per-attempt timeout, exponential backoff
+// with jitter, bounded attempts), an active health-check loop, and graceful
+// degradation: when the relay is down, flows fall back to the direct
+// shortest path — slower, per the paper's argument, but alive.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// DialPolicy bounds one logical dial: how many attempts, how long each may
+// take, and how retries space out.
+type DialPolicy struct {
+	// AttemptTimeout caps each individual attempt (default 2s).
+	AttemptTimeout time.Duration
+	// MaxAttempts is the total number of attempts, first try included
+	// (default 3).
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry; it doubles per
+	// retry (default 50ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay (default 2s).
+	BackoffMax time.Duration
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter] of
+	// its nominal value, desynchronizing retry storms from the many
+	// senders of an incast (default 0.2).
+	Jitter float64
+	// Rand supplies the jitter coin in [0,1); tests inject a seeded
+	// source for reproducibility (default math/rand).
+	Rand func() float64
+}
+
+func (p DialPolicy) withDefaults() DialPolicy {
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = 2 * time.Second
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 50 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 2 * time.Second
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	return p
+}
+
+// delay returns the jittered backoff before retry number n (n >= 1).
+func (p DialPolicy) delay(n int) time.Duration {
+	d := p.BackoffBase << uint(n-1)
+	if d > p.BackoffMax || d <= 0 {
+		d = p.BackoffMax
+	}
+	spread := 1 + p.Jitter*(2*p.Rand()-1)
+	return time.Duration(float64(d) * spread)
+}
+
+// ClientConfig parameterizes a resilient relay client.
+type ClientConfig struct {
+	// Dial is the underlying dialer (default net.Dialer); tests inject
+	// lan fabric dialers.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// RelayAddr is the relay to route through.
+	RelayAddr string
+	// Policy bounds relay dial attempts.
+	Policy DialPolicy
+	// FallbackDirect, when set, dials the target directly once the relay
+	// path is exhausted or known-unhealthy, instead of failing the flow.
+	FallbackDirect bool
+	// HealthInterval spaces active health probes; zero disables the
+	// loop (health then changes only on dial outcomes).
+	HealthInterval time.Duration
+	// HealthTimeout caps one probe (default AttemptTimeout).
+	HealthTimeout time.Duration
+}
+
+// Client dials targets through a relay with retries, health tracking, and
+// optional direct fallback. Create with NewClient; Close stops the health
+// loop.
+type Client struct {
+	cfg ClientConfig
+	// Metrics shares the Server's counter type: DialRetries, Fallbacks,
+	// and HealthFlaps are the client-side fields.
+	Metrics Metrics
+
+	mu        sync.Mutex
+	unhealthy bool
+	closed    bool
+	stop      chan struct{}
+	loopDone  chan struct{}
+}
+
+// ErrRelayUnavailable reports that every relay attempt failed and direct
+// fallback was not enabled.
+var ErrRelayUnavailable = errors.New("relay: relay unavailable")
+
+// NewClient returns a Client and, if HealthInterval is set, starts its
+// health-check loop.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Dial == nil {
+		var d net.Dialer
+		cfg.Dial = d.DialContext
+	}
+	cfg.Policy = cfg.Policy.withDefaults()
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = cfg.Policy.AttemptTimeout
+	}
+	c := &Client{cfg: cfg, stop: make(chan struct{}), loopDone: make(chan struct{})}
+	if cfg.HealthInterval > 0 {
+		go c.healthLoop()
+	} else {
+		close(c.loopDone)
+	}
+	return c
+}
+
+// Close stops the health loop. Established connections are unaffected.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.stop)
+	c.mu.Unlock()
+	<-c.loopDone
+	return nil
+}
+
+// Healthy reports the relay's last known state. It starts true and flips on
+// probe and dial outcomes; each transition counts one HealthFlaps.
+func (c *Client) Healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.unhealthy
+}
+
+func (c *Client) setHealthy(ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.unhealthy == !ok {
+		return
+	}
+	c.unhealthy = !ok
+	c.Metrics.HealthFlaps.Add(1)
+}
+
+// healthLoop probes the relay's accept path every HealthInterval.
+func (c *Client) healthLoop() {
+	defer close(c.loopDone)
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+			conn, err := c.cfg.Dial(ctx, "tcp", c.cfg.RelayAddr)
+			cancel()
+			if err != nil {
+				c.setHealthy(false)
+				continue
+			}
+			conn.Close()
+			c.setHealthy(true)
+		}
+	}
+}
+
+// DialTarget opens a byte stream to target: through the relay while it is
+// healthy, retrying per the policy, and directly when the relay path is
+// exhausted (FallbackDirect). The error from the last relay attempt is
+// always surfaced — promptly, each attempt individually bounded — when no
+// path works.
+func (c *Client) DialTarget(ctx context.Context, target string) (net.Conn, error) {
+	relayErr := ErrRelayUnavailable
+	tryRelay := c.Healthy() || !c.cfg.FallbackDirect
+	if tryRelay {
+		conn, err := c.dialRelayWithRetries(ctx, target)
+		if err == nil {
+			c.setHealthy(true)
+			return conn, nil
+		}
+		relayErr = err
+		c.setHealthy(false)
+	}
+	if c.cfg.FallbackDirect {
+		conn, err := c.cfg.Dial(ctx, "tcp", target)
+		if err == nil {
+			c.Metrics.Fallbacks.Add(1)
+			return conn, nil
+		}
+		return nil, fmt.Errorf("relay path: %w; direct path: %v", relayErr, err)
+	}
+	return nil, relayErr
+}
+
+func (c *Client) dialRelayWithRetries(ctx context.Context, target string) (net.Conn, error) {
+	p := c.cfg.Policy
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.Metrics.DialRetries.Add(1)
+			if err := sleepCtx(ctx, p.delay(attempt)); err != nil {
+				return nil, err
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, p.AttemptTimeout)
+		conn, err := DialViaRelay(actx, c.cfg.Dial, c.cfg.RelayAddr, target)
+		cancel()
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("relay: %d attempts to %s failed: %w",
+		p.MaxAttempts, c.cfg.RelayAddr, lastErr)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

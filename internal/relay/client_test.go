@@ -1,0 +1,261 @@
+package relay
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"incastproxy/internal/cliutil"
+	"incastproxy/internal/lan"
+)
+
+// fastPolicy keeps retry delays tiny and deterministic for tests.
+func fastPolicy() DialPolicy {
+	src := rand.New(rand.NewSource(1))
+	return DialPolicy{
+		AttemptTimeout: 500 * time.Millisecond,
+		MaxAttempts:    3,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     4 * time.Millisecond,
+		Jitter:         0.2,
+		Rand:           src.Float64,
+	}
+}
+
+func TestClientDialsThroughHealthyRelay(t *testing.T) {
+	f := lan.NewFabric(lan.PipeConfig{})
+	sinkL, _ := f.Listen("sink")
+	echoServer(t, sinkL)
+	relayL, _ := f.Listen("relay")
+	srv := New(Config{Dial: f.Dialer("relay")})
+	go srv.Serve(relayL)
+	defer srv.Close()
+
+	c := NewClient(ClientConfig{
+		Dial:      f.Dialer("client"),
+		RelayAddr: "relay",
+		Policy:    fastPolicy(),
+	})
+	defer c.Close()
+
+	conn, err := c.DialTarget(context.Background(), "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("through the relay")
+	go conn.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo: %q, %v", got, err)
+	}
+	if r := c.Metrics.DialRetries.Load(); r != 0 {
+		t.Fatalf("retries = %d on a healthy relay", r)
+	}
+	if fb := c.Metrics.Fallbacks.Load(); fb != 0 {
+		t.Fatalf("fallbacks = %d on a healthy relay", fb)
+	}
+}
+
+func TestClientRetriesThenFails(t *testing.T) {
+	f := lan.NewFabric(lan.PipeConfig{})
+	// No relay listening at all.
+	c := NewClient(ClientConfig{
+		Dial:      f.Dialer("client"),
+		RelayAddr: "relay",
+		Policy:    fastPolicy(),
+	})
+	defer c.Close()
+
+	_, err := c.DialTarget(context.Background(), "sink")
+	if err == nil {
+		t.Fatal("dead relay with no fallback must fail")
+	}
+	if r := c.Metrics.DialRetries.Load(); r != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", r)
+	}
+	if c.Healthy() {
+		t.Fatal("relay should be marked unhealthy after exhausted retries")
+	}
+}
+
+func TestClientFallsBackToDirect(t *testing.T) {
+	f := lan.NewFabric(lan.PipeConfig{})
+	sinkL, _ := f.Listen("sink")
+	echoServer(t, sinkL)
+	// Relay address is not listening: every relay attempt fails.
+	c := NewClient(ClientConfig{
+		Dial:           f.Dialer("client"),
+		RelayAddr:      "relay",
+		Policy:         fastPolicy(),
+		FallbackDirect: true,
+	})
+	defer c.Close()
+
+	conn, err := c.DialTarget(context.Background(), "sink")
+	if err != nil {
+		t.Fatalf("fallback should have saved the flow: %v", err)
+	}
+	defer conn.Close()
+	msg := []byte("direct path")
+	go conn.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo: %q, %v", got, err)
+	}
+	if fb := c.Metrics.Fallbacks.Load(); fb != 1 {
+		t.Fatalf("fallbacks = %d, want 1", fb)
+	}
+	if c.Metrics.HealthFlaps.Load() != 1 {
+		t.Fatalf("health flaps = %d, want 1 (up -> down)", c.Metrics.HealthFlaps.Load())
+	}
+
+	// The relay is now known-dead: the next dial must skip the retry loop
+	// and go straight to the direct path.
+	before := c.Metrics.DialRetries.Load()
+	conn2, err := c.DialTarget(context.Background(), "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+	if c.Metrics.DialRetries.Load() != before {
+		t.Fatal("known-unhealthy relay was retried anyway")
+	}
+	if fb := c.Metrics.Fallbacks.Load(); fb != 2 {
+		t.Fatalf("fallbacks = %d, want 2", fb)
+	}
+}
+
+func TestClientHealthLoopDetectsCrashAndRecovery(t *testing.T) {
+	f := lan.NewFabric(lan.PipeConfig{})
+	sinkL, _ := f.Listen("sink")
+	echoServer(t, sinkL)
+	relayL, _ := f.Listen("relay")
+	srv := New(Config{Dial: f.Dialer("relay")})
+	go srv.Serve(relayL)
+
+	c := NewClient(ClientConfig{
+		Dial:           f.Dialer("client"),
+		RelayAddr:      "relay",
+		Policy:         fastPolicy(),
+		FallbackDirect: true,
+		HealthInterval: 2 * time.Millisecond,
+	})
+	defer c.Close()
+
+	if !c.Healthy() {
+		t.Fatal("client must start healthy")
+	}
+
+	// Crash the relay; the probe loop must notice without any dial.
+	srv.Close()
+	relayL.Close()
+	if !cliutil.WaitUntil(5*time.Second, time.Millisecond, func() bool { return !c.Healthy() }) {
+		t.Fatal("health loop never noticed the crashed relay")
+	}
+
+	// A flow during the outage degrades to direct.
+	conn, err := c.DialTarget(context.Background(), "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if c.Metrics.Fallbacks.Load() == 0 {
+		t.Fatal("outage dial should have fallen back")
+	}
+
+	// Restart the relay on the same address; the loop must flip back.
+	relayL2, err := f.Listen("relay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Config{Dial: f.Dialer("relay")})
+	go srv2.Serve(relayL2)
+	defer srv2.Close()
+	if !cliutil.WaitUntil(5*time.Second, time.Millisecond, func() bool { return c.Healthy() }) {
+		t.Fatal("health loop never noticed the recovered relay")
+	}
+	if flaps := c.Metrics.HealthFlaps.Load(); flaps < 2 {
+		t.Fatalf("health flaps = %d, want >= 2 (down, up)", flaps)
+	}
+
+	// Healthy again: flows route through the relay once more (no new
+	// fallback; AcceptedConns is useless here — health probes hit it too).
+	fbBefore := c.Metrics.Fallbacks.Load()
+	conn2, err := c.DialTarget(context.Background(), "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+	if c.Metrics.Fallbacks.Load() != fbBefore {
+		t.Fatal("recovered relay not used: dial fell back to direct")
+	}
+}
+
+func TestClientDialContextCancelled(t *testing.T) {
+	f := lan.NewFabric(lan.PipeConfig{})
+	c := NewClient(ClientConfig{
+		Dial:      f.Dialer("client"),
+		RelayAddr: "relay",
+		Policy:    fastPolicy(),
+	})
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DialTarget(ctx, "sink"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClientSurfacesSlowDialPromptly(t *testing.T) {
+	// A dialer that hangs until its context expires: the per-attempt
+	// timeout must bound each try, so 3 attempts with tiny backoff finish
+	// in well under a second.
+	var calls atomic.Int32
+	hang := func(ctx context.Context, network, addr string) (net.Conn, error) {
+		calls.Add(1)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	p := fastPolicy()
+	p.AttemptTimeout = 5 * time.Millisecond
+	c := NewClient(ClientConfig{Dial: hang, RelayAddr: "relay", Policy: p})
+	defer c.Close()
+
+	start := time.Now()
+	_, err := c.DialTarget(context.Background(), "sink")
+	if err == nil {
+		t.Fatal("hanging relay must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dial failure took %v: attempt timeout not applied", elapsed)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("dial calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestDialPolicyBackoffBoundedAndJittered(t *testing.T) {
+	src := rand.New(rand.NewSource(7))
+	p := DialPolicy{
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  80 * time.Millisecond,
+		Jitter:      0.5,
+		Rand:        src.Float64,
+	}.withDefaults()
+	for n := 1; n <= 12; n++ {
+		d := p.delay(n)
+		if d < time.Duration(float64(p.BackoffBase)*0.5) {
+			t.Fatalf("delay(%d) = %v below jitter floor", n, d)
+		}
+		if d > time.Duration(float64(p.BackoffMax)*1.5) {
+			t.Fatalf("delay(%d) = %v above jittered cap", n, d)
+		}
+	}
+}

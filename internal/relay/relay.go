@@ -18,6 +18,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"incastproxy/internal/wire"
 )
@@ -30,6 +31,11 @@ type Metrics struct {
 	DialErrors    atomic.Uint64
 	BytesUpstream atomic.Uint64 // client -> target
 	BytesDownstr  atomic.Uint64 // target -> client
+
+	// Client-side resilience counters (see Client).
+	DialRetries atomic.Uint64 // relay dial attempts beyond the first
+	Fallbacks   atomic.Uint64 // flows degraded to the direct path
+	HealthFlaps atomic.Uint64 // healthy <-> unhealthy transitions
 }
 
 // Config parameterizes a relay Server.
@@ -43,6 +49,15 @@ type Config struct {
 	// refuse). Production deployments restrict the relay to the
 	// receiver datacenter's address space.
 	AllowTarget func(addr string) bool
+	// DialTimeout bounds the relay's dial to the target (default 10s),
+	// so a blackholed target surfaces as a prompt KindError to the
+	// client instead of a silent hang.
+	DialTimeout time.Duration
+	// PreambleTimeout bounds how long a client may take to deliver its
+	// dial preamble (default 10s). Without it a client that sends a
+	// partial header holds a handler goroutine and connection slot
+	// forever — a slowloris on the relay's accept path.
+	PreambleTimeout time.Duration
 }
 
 // Server is a relay instance. Create with New, run with Serve.
@@ -68,6 +83,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.BufBytes <= 0 {
 		cfg.BufBytes = 64 << 10
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.PreambleTimeout <= 0 {
+		cfg.PreambleTimeout = 10 * time.Second
 	}
 	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
 }
@@ -148,17 +169,21 @@ func (s *Server) untrack(c net.Conn) {
 // handle runs one relayed connection to completion.
 func (s *Server) handle(client net.Conn) {
 	defer client.Close()
+	client.SetReadDeadline(time.Now().Add(s.cfg.PreambleTimeout))
 	target, err := readDial(client)
 	if err != nil {
 		writeError(client, err)
 		return
 	}
+	client.SetReadDeadline(time.Time{})
 	if s.cfg.AllowTarget != nil && !s.cfg.AllowTarget(target) {
 		s.Metrics.DialErrors.Add(1)
 		writeError(client, ErrTargetRefused)
 		return
 	}
-	remote, err := s.cfg.Dial(context.Background(), "tcp", target)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DialTimeout)
+	remote, err := s.cfg.Dial(ctx, "tcp", target)
+	cancel()
 	if err != nil {
 		s.Metrics.DialErrors.Add(1)
 		writeError(client, err)
@@ -207,26 +232,14 @@ func copyDirection(dst, src net.Conn, bufBytes int) int64 {
 }
 
 // readDial consumes the client's dial preamble and returns the target.
+// Malformed preambles (truncated, oversized, garbage) surface as the wire
+// package's typed errors.
 func readDial(c net.Conn) (string, error) {
-	hdr := make([]byte, wire.HeaderSize)
-	if _, err := io.ReadFull(c, hdr); err != nil {
-		return "", fmt.Errorf("relay: reading dial header: %w", err)
-	}
-	h, err := wire.Parse(hdr)
+	target, err := wire.ReadPreamble(c)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("relay: %w", err)
 	}
-	if h.Kind != wire.KindDial {
-		return "", fmt.Errorf("relay: expected DIAL, got %v", h.Kind)
-	}
-	if h.Length == 0 || h.Length > 1024 {
-		return "", fmt.Errorf("relay: bad target length %d", h.Length)
-	}
-	target := make([]byte, h.Length)
-	if _, err := io.ReadFull(c, target); err != nil {
-		return "", fmt.Errorf("relay: reading target: %w", err)
-	}
-	return string(target), nil
+	return target, nil
 }
 
 // writeError best-effort reports a failure to the client.
@@ -253,8 +266,11 @@ func DialViaRelay(ctx context.Context,
 	if err != nil {
 		return nil, err
 	}
-	pre := wire.AppendHeader(nil, wire.Header{Kind: wire.KindDial, Length: uint32(len(target))})
-	pre = append(pre, target...)
+	pre, err := wire.AppendDialPreamble(nil, target)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
 	if _, err := c.Write(pre); err != nil {
 		c.Close()
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"incastproxy/internal/cliutil"
 	"incastproxy/internal/lan"
 	"incastproxy/internal/wire"
 )
@@ -198,6 +199,44 @@ func TestRelayBadPreamble(t *testing.T) {
 	}
 }
 
+func TestRelaySlowPreambleTimedOut(t *testing.T) {
+	// A client sending a partial preamble and then going silent must not
+	// hold a handler goroutine forever (slowloris on the accept path).
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{PreambleTimeout: 50 * time.Millisecond})
+	go srv.Serve(rl)
+	defer srv.Close()
+
+	c, err := net.Dial("tcp", rl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One byte short of a header, then silence.
+	c.Write(make([]byte, wire.HeaderSize-1))
+
+	// The relay must give up and tear the connection down: our read ends
+	// with a KindError frame or a plain close, promptly.
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, c)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("relay kept the half-preamble connection open")
+	}
+	if !cliutil.WaitUntil(5*time.Second, time.Millisecond, func() bool {
+		return srv.Metrics.ActiveConns.Load() == 0
+	}) {
+		t.Fatalf("handler leaked: active = %d", srv.Metrics.ActiveConns.Load())
+	}
+}
+
 func TestRelayConcurrentConnections(t *testing.T) {
 	f := lan.NewFabric(lan.PipeConfig{})
 	sinkL, _ := f.Listen("sink")
@@ -242,7 +281,11 @@ func TestRelayConcurrentConnections(t *testing.T) {
 	if srv.Metrics.AcceptedConns.Load() != conns {
 		t.Fatalf("accepted = %d", srv.Metrics.AcceptedConns.Load())
 	}
-	if srv.Metrics.ActiveConns.Load() != 0 {
+	// The handler's deferred ActiveConns decrement races the sink's byte
+	// count: poll instead of asserting instantly.
+	if !cliutil.WaitUntil(5*time.Second, time.Millisecond, func() bool {
+		return srv.Metrics.ActiveConns.Load() == 0
+	}) {
 		t.Fatalf("active = %d after drain", srv.Metrics.ActiveConns.Load())
 	}
 }

@@ -336,3 +336,16 @@ func (n *Network) Switches() []*netsim.Switch {
 func (n *Network) DownToRPort(h *netsim.Host) *netsim.Port {
 	return h.NIC().Peer()
 }
+
+// InterDCPorts returns both directions of every long-haul spine<->backbone
+// link: the port set that, taken down together, blackholes all traffic
+// between the two datacenters (fault injection's worst case).
+func (n *Network) InterDCPorts() []*netsim.Port {
+	var out []*netsim.Port
+	for _, bb := range n.Backbones {
+		for _, p := range bb.Ports() {
+			out = append(out, p, p.Peer())
+		}
+	}
+	return out
+}

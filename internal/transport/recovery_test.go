@@ -1,0 +1,135 @@
+package transport
+
+// Recovery behaviour under injected faults: the transport must survive link
+// flaps and inter-DC blackholes with RTO-driven retransmission, reset its
+// window on timeout (§4.1), back off exponentially instead of livelocking,
+// and resume cleanly when the path heals.
+
+import (
+	"testing"
+
+	"incastproxy/internal/faults"
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+func TestRecoveryAcrossMidFlowLinkFlap(t *testing.T) {
+	// 10 Gbps / 10 us link; the flow takes ~800 us clean, and the link
+	// flaps down for 2 ms in the middle.
+	p := newPair(t, 10*units.Gbps, 10*units.Microsecond, netsim.QueueConfig{})
+	total := units.ByteSize(1 * units.MB)
+	cfg := Config{
+		InitWindow:  100 * units.KB,
+		ExpectedRTT: 25 * units.Microsecond,
+		MinRTO:      100 * units.Microsecond,
+	}
+
+	inj := faults.New(p.e, 1)
+	inj.FlapLink(p.src.NIC(), units.Time(200*units.Microsecond), 2*units.Millisecond)
+
+	doneAt, snd, recv := runFlow(t, p, total, cfg)
+	if !recv.Done() || recv.Bytes() != total {
+		t.Fatalf("flow incomplete across flap: recv %v of %v, timeouts=%d",
+			recv.Bytes(), total, snd.Stats.Timeouts)
+	}
+	if snd.Stats.Timeouts == 0 || snd.Stats.Retransmits == 0 {
+		t.Fatalf("flap must force RTO recovery, got timeouts=%d retx=%d",
+			snd.Stats.Timeouts, snd.Stats.Retransmits)
+	}
+	// Completion can't precede the link coming back.
+	if doneAt < units.Time(2200*units.Microsecond) {
+		t.Fatalf("done at %v, before the flap cleared", doneAt)
+	}
+	if len(inj.Timeline()) != 2 {
+		t.Fatalf("timeline = %v", inj.Timeline())
+	}
+}
+
+func TestBlackholeResetsWindowAndBacksOff(t *testing.T) {
+	// Emulate a long-haul path: 1 ms propagation. A 100 ms blackhole is
+	// many RTOs long; the sender must reset cwnd to the minimum, back off
+	// exponentially (bounded timeout count — no livelock), and finish
+	// after the path heals.
+	p := newPair(t, 10*units.Gbps, units.Millisecond, netsim.QueueConfig{})
+	total := units.ByteSize(300 * units.KB)
+	cfg := Config{
+		InitWindow:  30 * units.KB,
+		ExpectedRTT: 2 * units.Millisecond,
+		MinRTO:      4 * units.Millisecond,
+		MaxRTO:      50 * units.Millisecond,
+	}
+
+	const holeStart = units.Time(3 * units.Millisecond)
+	const holeDur = 100 * units.Millisecond
+	inj := faults.New(p.e, 1)
+	// Both directions of the only link: a true blackhole.
+	inj.BlackholePorts("inter-dc", []*netsim.Port{p.src.NIC(), p.dst.NIC()}, holeStart, holeDur)
+
+	var cwndMidHole units.ByteSize
+	var timeoutsMidHole uint64
+
+	var doneAt units.Time
+	recv := NewReceiver(p.dst, 1, p.src.ID(), total, func(at units.Time) { doneAt = at })
+	snd := NewSender(p.src, 1, p.dst.ID(), 0, total, cfg, nil)
+	p.src.Bind(1, snd)
+	p.dst.Bind(1, recv)
+	// Sample sender state deep inside the hole, after several RTOs.
+	p.e.Schedule(holeStart.Add(80*units.Millisecond), func(*sim.Engine) {
+		cwndMidHole = snd.Cwnd()
+		timeoutsMidHole = snd.Stats.Timeouts
+	})
+	snd.Start(p.e)
+	p.e.RunUntil(units.Time(5 * units.Second))
+
+	if !recv.Done() || recv.Bytes() != total {
+		t.Fatalf("flow incomplete after blackhole: recv %v of %v", recv.Bytes(), total)
+	}
+	if doneAt < holeStart.Add(holeDur) {
+		t.Fatalf("done at %v, inside the blackhole", doneAt)
+	}
+	// §4.1: cwnd resets to the minimum on timeout.
+	if cwndMidHole != cfg.MSS && cwndMidHole != 1500 {
+		t.Fatalf("cwnd mid-blackhole = %v, want 1 MSS", cwndMidHole)
+	}
+	// Exponential backoff bounds the RTO count: with MinRTO 4 ms doubling
+	// to a 50 ms cap, a 100 ms outage fits well under 10 expiries. A
+	// livelocked (non-backing-off) sender would fire 25+.
+	if timeoutsMidHole == 0 {
+		t.Fatal("no timeouts during a total blackhole")
+	}
+	if timeoutsMidHole > 10 {
+		t.Fatalf("timeouts = %d during the hole: backoff not applied (livelock)", timeoutsMidHole)
+	}
+}
+
+func TestAbortSilencesSender(t *testing.T) {
+	p := newPair(t, 10*units.Gbps, units.Millisecond, netsim.QueueConfig{})
+	cfg := Config{InitWindow: 15 * units.KB, ExpectedRTT: 2 * units.Millisecond}
+
+	// The path is dead from the start; the sender would retransmit
+	// forever without Abort.
+	p.src.NIC().SetDown(true)
+
+	recv := NewReceiver(p.dst, 1, p.src.ID(), 300*units.KB, nil)
+	snd := NewSender(p.src, 1, p.dst.ID(), 0, 300*units.KB, cfg, nil)
+	p.src.Bind(1, snd)
+	p.dst.Bind(1, recv)
+	snd.Start(p.e)
+
+	p.e.Schedule(units.Time(20*units.Millisecond), func(*sim.Engine) { snd.Abort() })
+	end := p.e.RunUntil(units.Time(10 * units.Second))
+
+	if !snd.Aborted() || snd.Done() {
+		t.Fatalf("aborted=%v done=%v", snd.Aborted(), snd.Done())
+	}
+	// Once aborted, the event loop drains: nothing re-arms.
+	if end > units.Time(30*units.Millisecond) {
+		t.Fatalf("engine ran until %v after abort: timers still churning", end)
+	}
+	sentAtAbort := snd.Stats.PktsSent
+	p.e.Run()
+	if snd.Stats.PktsSent != sentAtAbort {
+		t.Fatal("aborted sender transmitted again")
+	}
+}

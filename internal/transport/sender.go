@@ -85,6 +85,7 @@ type Sender struct {
 	lastTimeoutAt units.Time
 	rtoUndone     bool
 	started       bool
+	aborted       bool
 	done          bool
 	doneAt        units.Time
 	onDone        func(units.Time)
@@ -167,6 +168,21 @@ func (s *Sender) CloseSupply(e *sim.Engine) {
 	s.checkDone(e)
 }
 
+// Abort permanently silences the sender mid-flow: the RTO timer is
+// cancelled, no further packets (fresh or retransmitted) are sent, and
+// onDone never fires. Failover controllers call it when re-homing a flow's
+// remaining bytes onto a new path after a proxy crash, so the dead flow's
+// timers stop churning the event loop.
+func (s *Sender) Abort() {
+	s.aborted = true
+	if s.timer != nil {
+		s.timer.Cancel()
+	}
+}
+
+// Aborted reports whether Abort was called.
+func (s *Sender) Aborted() bool { return s.aborted }
+
 // Done reports whether every byte has been acknowledged.
 func (s *Sender) Done() bool { return s.done }
 
@@ -239,6 +255,9 @@ func (s *Sender) nextNewSize() (units.ByteSize, bool) {
 }
 
 func (s *Sender) trySend(e *sim.Engine) {
+	if s.aborted {
+		return
+	}
 	for {
 		// Retransmissions first.
 		seq, size, retx, ok := s.pickNext()
@@ -462,14 +481,20 @@ func (s *Sender) sampleRTT(rtt units.Duration) {
 	}
 }
 
-// onTimeout expires packets outstanding longer than the (backed-off) RTO:
-// they are queued for retransmission and the window resets to its minimum
-// ("the sender resets its congestion window upon timeout", §4.1).
+// onTimeout fires when the oldest outstanding packet has been unacknowledged
+// for a full (backed-off) RTO. A timeout declares the ENTIRE outstanding
+// window lost — go-back-N, as in htsim — not just the packets older than the
+// deadline: the window resets to its minimum (§4.1: "the sender resets its
+// congestion window upon timeout"), so anything still marked in flight is a
+// fiction. Expiring entries one RTO-age at a time instead would livelock a
+// long outage: packets transmitted into the blackhole keep refreshing the
+// send log, and once the backed-off RTO pegs at MaxRTO the timer fires once
+// per straggler, microseconds apart, defeating the backoff entirely.
 func (s *Sender) onTimeout(e *sim.Engine) {
 	effRTO := s.effectiveRTO()
 	deadline := e.Now().Add(-effRTO)
 	expired := false
-	// Drain the in-order send log for expired entries.
+	// Has the oldest valid entry exceeded its deadline?
 	for len(s.sendOrder) > 0 {
 		front := s.sendOrder[0]
 		rec := s.outstanding[front.seq]
@@ -477,19 +502,24 @@ func (s *Sender) onTimeout(e *sim.Engine) {
 			s.sendOrder = s.sendOrder[1:] // stale entry
 			continue
 		}
-		if front.sentAt > deadline {
-			break
-		}
-		delete(s.outstanding, front.seq)
-		s.inflight -= rec.size
-		if !s.lost[front.seq] && !s.acked[front.seq] {
-			s.lost[front.seq] = true
-			s.retxQ = append(s.retxQ, front.seq)
-		}
-		s.sendOrder = s.sendOrder[1:]
-		expired = true
+		expired = front.sentAt <= deadline
+		break
 	}
 	if expired {
+		// Flush the whole window into the retransmit queue.
+		for _, front := range s.sendOrder {
+			rec := s.outstanding[front.seq]
+			if rec == nil || rec.sentAt != front.sentAt {
+				continue
+			}
+			delete(s.outstanding, front.seq)
+			s.inflight -= rec.size
+			if !s.lost[front.seq] && !s.acked[front.seq] {
+				s.lost[front.seq] = true
+				s.retxQ = append(s.retxQ, front.seq)
+			}
+		}
+		s.sendOrder = s.sendOrder[:0]
 		s.Stats.Timeouts++
 		// Standard loss-recovery target: remember half the pre-loss
 		// window so slow start rebuilds quickly, then reset the
@@ -533,7 +563,7 @@ func (s *Sender) rearmTimer(e *sim.Engine) {
 }
 
 func (s *Sender) checkDone(e *sim.Engine) {
-	if s.done {
+	if s.done || s.aborted {
 		return
 	}
 	complete := false

@@ -1,0 +1,124 @@
+package wire
+
+// The dial preamble is the relay protocol's only variable-length,
+// attacker-facing input: a DIAL header followed by Length bytes naming the
+// target ("host:port"). The relay parses it from every accepted connection
+// before any policy check runs, so the parser must be total — truncated,
+// oversized, and garbage inputs all map to typed errors, never to a panic,
+// an unbounded allocation, or a silent misread. FuzzParsePreamble holds the
+// parser to that.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxTargetLen bounds the dial target. Anything longer than a
+// host:port can reasonably be is a malformed or hostile preamble, and the
+// bound caps the allocation an unauthenticated client can force.
+const MaxTargetLen = 1024
+
+// Preamble errors. ReadPreamble and ParsePreamble wrap these with detail;
+// match with errors.Is.
+var (
+	// ErrPreambleTruncated reports a connection or buffer that ended
+	// before the advertised preamble was complete.
+	ErrPreambleTruncated = errors.New("wire: truncated dial preamble")
+	// ErrNotDial reports a structurally valid frame of the wrong kind
+	// where a DIAL was required.
+	ErrNotDial = errors.New("wire: preamble is not a DIAL frame")
+	// ErrTargetLen reports a DIAL whose target length is zero or exceeds
+	// MaxTargetLen.
+	ErrTargetLen = errors.New("wire: dial target length out of range")
+	// ErrTargetGarbage reports a target containing control or non-ASCII
+	// bytes — never legitimate in a host:port, always hostile or corrupt.
+	ErrTargetGarbage = errors.New("wire: dial target contains garbage bytes")
+)
+
+// AppendDialPreamble marshals a dial preamble for target onto buf. The
+// target is validated with the same rules the parser enforces, so a
+// preamble this function produces always parses.
+func AppendDialPreamble(buf []byte, target string) ([]byte, error) {
+	if len(target) == 0 || len(target) > MaxTargetLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTargetLen, len(target))
+	}
+	if err := checkTarget([]byte(target)); err != nil {
+		return nil, err
+	}
+	buf = AppendHeader(buf, Header{Kind: KindDial, Length: uint32(len(target))})
+	return append(buf, target...), nil
+}
+
+// ParsePreamble decodes a dial preamble from the front of b, returning the
+// target and the number of bytes consumed. It never panics and never
+// allocates more than MaxTargetLen regardless of input.
+func ParsePreamble(b []byte) (target string, n int, err error) {
+	if len(b) < HeaderSize {
+		return "", 0, fmt.Errorf("%w: %d of %d header bytes", ErrPreambleTruncated, len(b), HeaderSize)
+	}
+	h, err := Parse(b)
+	if err != nil {
+		return "", 0, err
+	}
+	if h.Kind != KindDial {
+		return "", 0, fmt.Errorf("%w: got %v", ErrNotDial, h.Kind)
+	}
+	if h.Length == 0 || h.Length > MaxTargetLen {
+		return "", 0, fmt.Errorf("%w: %d bytes", ErrTargetLen, h.Length)
+	}
+	end := HeaderSize + int(h.Length)
+	if len(b) < end {
+		return "", 0, fmt.Errorf("%w: %d of %d target bytes", ErrPreambleTruncated, len(b)-HeaderSize, h.Length)
+	}
+	t := b[HeaderSize:end]
+	if err := checkTarget(t); err != nil {
+		return "", 0, err
+	}
+	return string(t), end, nil
+}
+
+// ReadPreamble consumes a dial preamble from r — the relay's accept path.
+// A stream that ends early reports ErrPreambleTruncated; structural and
+// content failures report the same typed errors as ParsePreamble.
+func ReadPreamble(r io.Reader) (string, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return "", fmt.Errorf("%w: header: %v", ErrPreambleTruncated, err)
+		}
+		return "", err
+	}
+	h, err := Parse(hdr)
+	if err != nil {
+		return "", err
+	}
+	if h.Kind != KindDial {
+		return "", fmt.Errorf("%w: got %v", ErrNotDial, h.Kind)
+	}
+	if h.Length == 0 || h.Length > MaxTargetLen {
+		return "", fmt.Errorf("%w: %d bytes", ErrTargetLen, h.Length)
+	}
+	target := make([]byte, h.Length)
+	if _, err := io.ReadFull(r, target); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return "", fmt.Errorf("%w: target: %v", ErrPreambleTruncated, err)
+		}
+		return "", err
+	}
+	if err := checkTarget(target); err != nil {
+		return "", err
+	}
+	return string(target), nil
+}
+
+// checkTarget rejects bytes that cannot occur in a host:port — control
+// characters, spaces, DEL, and anything non-ASCII.
+func checkTarget(t []byte) error {
+	for i, c := range t {
+		if c <= 0x20 || c >= 0x7f {
+			return fmt.Errorf("%w: byte %#02x at offset %d", ErrTargetGarbage, c, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func mustPreamble(t testing.TB, target string) []byte {
+	t.Helper()
+	b, err := AppendDialPreamble(nil, target)
+	if err != nil {
+		t.Fatalf("AppendDialPreamble(%q): %v", target, err)
+	}
+	return b
+}
+
+func TestPreambleRoundTrip(t *testing.T) {
+	b := mustPreamble(t, "10.0.0.7:9000")
+	b = append(b, "trailing stream bytes"...) // payload after the preamble
+
+	target, n, err := ParsePreamble(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "10.0.0.7:9000" {
+		t.Fatalf("target = %q", target)
+	}
+	if n != HeaderSize+len("10.0.0.7:9000") {
+		t.Fatalf("consumed %d bytes", n)
+	}
+
+	got, err := ReadPreamble(bytes.NewReader(b))
+	if err != nil || got != "10.0.0.7:9000" {
+		t.Fatalf("ReadPreamble = %q, %v", got, err)
+	}
+}
+
+func TestPreambleTruncated(t *testing.T) {
+	full := mustPreamble(t, "host.example:443")
+	for _, cut := range []int{0, 1, HeaderSize - 1, HeaderSize, HeaderSize + 3, len(full) - 1} {
+		if _, _, err := ParsePreamble(full[:cut]); !errors.Is(err, ErrPreambleTruncated) &&
+			!errors.Is(err, ErrShortHeader) {
+			t.Fatalf("cut=%d: err = %v", cut, err)
+		}
+		if _, err := ReadPreamble(bytes.NewReader(full[:cut])); !errors.Is(err, ErrPreambleTruncated) &&
+			!errors.Is(err, ErrShortHeader) {
+			t.Fatalf("read cut=%d: err = %v", cut, err)
+		}
+	}
+}
+
+func TestPreambleOversizedAndEmpty(t *testing.T) {
+	if _, err := AppendDialPreamble(nil, strings.Repeat("a", MaxTargetLen+1)); !errors.Is(err, ErrTargetLen) {
+		t.Fatalf("oversized append: %v", err)
+	}
+	if _, err := AppendDialPreamble(nil, ""); !errors.Is(err, ErrTargetLen) {
+		t.Fatalf("empty append: %v", err)
+	}
+	// Hand-craft headers the encoder refuses to produce.
+	for _, length := range []uint32{0, MaxTargetLen + 1, 1 << 30} {
+		hdr := Marshal(Header{Kind: KindDial, Length: length})
+		b := append(hdr, make([]byte, 16)...)
+		if _, _, err := ParsePreamble(b); !errors.Is(err, ErrTargetLen) {
+			t.Fatalf("length %d: %v", length, err)
+		}
+		if _, err := ReadPreamble(bytes.NewReader(b)); !errors.Is(err, ErrTargetLen) {
+			t.Fatalf("read length %d: %v", length, err)
+		}
+	}
+}
+
+func TestPreambleWrongKindAndGarbage(t *testing.T) {
+	notDial := Marshal(Header{Kind: KindData, Length: 4})
+	notDial = append(notDial, "abcd"...)
+	if _, _, err := ParsePreamble(notDial); !errors.Is(err, ErrNotDial) {
+		t.Fatalf("wrong kind: %v", err)
+	}
+
+	for _, target := range []string{"has space:80", "nul\x00byte:80", "high\xffbyte:80", "tab\tchar:80"} {
+		if _, err := AppendDialPreamble(nil, target); !errors.Is(err, ErrTargetGarbage) {
+			t.Fatalf("append %q: %v", target, err)
+		}
+		hdr := Marshal(Header{Kind: KindDial, Length: uint32(len(target))})
+		b := append(hdr, target...)
+		if _, _, err := ParsePreamble(b); !errors.Is(err, ErrTargetGarbage) {
+			t.Fatalf("parse %q: %v", target, err)
+		}
+		if _, err := ReadPreamble(bytes.NewReader(b)); !errors.Is(err, ErrTargetGarbage) {
+			t.Fatalf("read %q: %v", target, err)
+		}
+	}
+}
+
+func TestPreambleCorruptHeader(t *testing.T) {
+	b := mustPreamble(t, "h:1")
+	b[5] ^= 0xff // flip FlowID bits: checksum must catch it
+	if _, _, err := ParsePreamble(b); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupt: %v", err)
+	}
+}
+
+// ReadPreamble must pass through non-EOF transport errors unmapped, so the
+// relay can distinguish a peer that hung up from a broken socket.
+func TestReadPreamblePropagatesReaderError(t *testing.T) {
+	boom := errors.New("socket exploded")
+	if _, err := ReadPreamble(errReader{boom}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+func FuzzParsePreamble(f *testing.F) {
+	f.Add(mustPreamble(f, "10.0.0.7:9000"))
+	f.Add(mustPreamble(f, "a:1"))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize))
+	f.Add(Marshal(Header{Kind: KindDial, Length: 1 << 31}))
+	f.Add(Marshal(Header{Kind: KindError, Length: 3}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		target, n, err := ParsePreamble(data)
+		if err != nil {
+			if target != "" || n != 0 {
+				t.Fatalf("error path leaked results: %q, %d", target, n)
+			}
+			return
+		}
+		// A successful parse must be internally consistent...
+		if len(target) == 0 || len(target) > MaxTargetLen {
+			t.Fatalf("target length %d out of bounds", len(target))
+		}
+		if n != HeaderSize+len(target) || n > len(data) {
+			t.Fatalf("consumed %d of %d for %d-byte target", n, len(data), len(target))
+		}
+		// ...agree with the streaming parser...
+		streamed, err := ReadPreamble(bytes.NewReader(data))
+		if err != nil || streamed != target {
+			t.Fatalf("ReadPreamble disagrees: %q, %v", streamed, err)
+		}
+		// ...and survive a re-encode round trip.
+		re, err := AppendDialPreamble(nil, target)
+		if err != nil {
+			t.Fatalf("re-encode refused parsed target %q: %v", target, err)
+		}
+		back, m, err := ParsePreamble(re)
+		if err != nil || back != target || m != len(re) {
+			t.Fatalf("round trip: %q, %d, %v", back, m, err)
+		}
+	})
+}
+
+var _ io.Reader = errReader{}

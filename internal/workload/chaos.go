@@ -1,0 +1,288 @@
+package workload
+
+// Chaos scenarios: the paper's evaluation assumes a healthy proxy, but the
+// proxy is a single point on the data path. RunChaos crashes the proxy host
+// mid-incast (plus optional inter-DC blackholes) and exercises the recovery
+// story end to end: a failover controller detects the crash after a
+// configurable delay, aborts the stranded senders, and re-homes each flow's
+// remaining bytes onto a standby proxy in the same datacenter or straight
+// onto the direct path. Every fault and every failover action is an engine
+// event derived from the spec's seed, so a chaos run is exactly as
+// reproducible as a clean one.
+
+import (
+	"fmt"
+
+	"incastproxy/internal/faults"
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/proxy"
+	"incastproxy/internal/rng"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/topo"
+	"incastproxy/internal/transport"
+	"incastproxy/internal/units"
+)
+
+// FailoverMode selects what the controller does with flows stranded on a
+// crashed proxy.
+type FailoverMode int
+
+// The failover policies.
+const (
+	// FailoverNone leaves flows to RTO against the dead proxy; they
+	// complete only if the proxy restarts.
+	FailoverNone FailoverMode = iota
+	// FailoverStandby re-homes flows through a standby proxy host in the
+	// sending datacenter.
+	FailoverStandby
+	// FailoverDirect degrades flows to the direct path — the paper's
+	// baseline: the shortest path, no longer the fastest choice but the
+	// one that still exists.
+	FailoverDirect
+)
+
+func (m FailoverMode) String() string {
+	switch m {
+	case FailoverNone:
+		return "none"
+	case FailoverStandby:
+		return "standby"
+	case FailoverDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("FailoverMode(%d)", int(m))
+	}
+}
+
+// ChaosSpec describes one proxied incast with injected proxy failure. The
+// embedded incast always runs the streamlined scheme (the paper's headline
+// design and the one whose proxy holds no byte state, so re-homing needs no
+// state transfer).
+type ChaosSpec struct {
+	// Incast is the base experiment; Scheme is forced to ProxyStreamlined
+	// and Runs to 1 (repeat by varying Seed).
+	Incast Spec
+
+	// CrashAt is when the primary proxy host dies.
+	CrashAt units.Duration
+	// RestartAfter revives it that long after the crash (0: stays dead).
+	RestartAfter units.Duration
+	// DetectionDelay is how long after the crash the failover controller
+	// reacts (default 1 ms — a few health-probe intervals).
+	DetectionDelay units.Duration
+	// Mode picks the failover policy.
+	Mode FailoverMode
+
+	// BlackholeAt/BlackholeDur, when Dur > 0, additionally take every
+	// inter-DC link down for the window — compound failure.
+	BlackholeAt  units.Duration
+	BlackholeDur units.Duration
+}
+
+// ChaosResult reports one chaos run.
+type ChaosResult struct {
+	RunResult
+	// Timeline is the injector's executed fault edges.
+	Timeline []faults.Event
+	// FailedOver counts flows the controller re-homed; RehomedBytes is
+	// the total remaining bytes it moved.
+	FailedOver   int
+	RehomedBytes units.ByteSize
+}
+
+func (spec ChaosSpec) withDefaults() ChaosSpec {
+	spec.Incast.Scheme = ProxyStreamlined
+	spec.Incast.Runs = 1
+	spec.Incast = spec.Incast.withDefaults()
+	if spec.DetectionDelay <= 0 {
+		spec.DetectionDelay = units.Millisecond
+	}
+	return spec
+}
+
+// Validate reports specification errors.
+func (spec ChaosSpec) Validate() error {
+	spec = spec.withDefaults()
+	if err := spec.Incast.Validate(); err != nil {
+		return err
+	}
+	hostsPerDC := spec.Incast.Topo.Leaves * spec.Incast.Topo.ServersPerLeaf
+	if spec.Mode == FailoverStandby && spec.Incast.Degree > hostsPerDC-2 {
+		return fmt.Errorf("workload: degree %d leaves no host for a standby proxy (%d per DC)",
+			spec.Incast.Degree, hostsPerDC)
+	}
+	if spec.CrashAt <= 0 {
+		return fmt.Errorf("workload: CrashAt must be positive")
+	}
+	return nil
+}
+
+// RunChaos simulates one incast under proxy failure.
+func RunChaos(spec ChaosSpec) (*ChaosResult, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec.Incast
+
+	e := sim.New()
+	cfg := s.Topo
+	cfg.Seed = s.Seed
+	cfg.TrimDC[0] = true
+	net := topo.Build(e, cfg)
+	if s.OnBuild != nil {
+		s.OnBuild(net, e)
+	}
+
+	hostsDC0 := net.Hosts[0]
+	recv := net.Hosts[1][0]
+	primary := hostsDC0[len(hostsDC0)-1]
+	standby := hostsDC0[len(hostsDC0)-2]
+	senders := hostsDC0[:s.Degree]
+	shares := splitBytes(s.TotalBytes, s.Degree)
+	src := rng.New(s.Seed)
+
+	iwScale := s.IWScale
+	if iwScale <= 0 {
+		iwScale = 1
+	}
+	initRTO := func(rtt units.Duration, iw units.ByteSize) units.Duration {
+		return 3*rtt + cfg.LinkRate.TransmitTime(units.ByteSize(s.Degree)*iw)
+	}
+	mkCfg := func(rtt units.Duration) transport.Config {
+		iw := units.ByteSize(float64(net.BottleneckRate(senders[0], recv).BDP(rtt)) * iwScale)
+		return transport.Config{
+			MSS:         s.MSS,
+			InitWindow:  iw,
+			ExpectedRTT: rtt,
+			InitRTO:     initRTO(rtt, iw),
+			GeminiMode:  s.Gemini,
+		}
+	}
+
+	flowDone := make([]bool, s.Degree)
+	completedFlows := 0
+	var lastDone units.Time
+	markDone := func(i int, at units.Time) {
+		if flowDone[i] {
+			return
+		}
+		flowDone[i] = true
+		completedFlows++
+		if at > lastDone {
+			lastDone = at
+		}
+		if completedFlows == s.Degree {
+			e.Stop()
+		}
+	}
+
+	// Original flows, streamlined through the primary proxy.
+	txSenders := make([]*transport.Sender, s.Degree)
+	receivers := make([]*transport.Receiver, s.Degree)
+	for i, snd := range senders {
+		i, flow := i, netsim.FlowID(i+1)
+		rtt := net.PathRTT(snd, primary, s.MSS, netsim.ControlSize) +
+			net.PathRTT(primary, recv, s.MSS, netsim.ControlSize)
+		p := proxy.NewStreamlined(primary, flow, snd.ID(), recv.ID(),
+			s.ProxyProcDelay, src.Split(int64(flow)))
+		p.NoEarlyNack = s.NoEarlyFeedback
+		primary.Bind(flow, p)
+		r := transport.NewReceiver(recv, flow, primary.ID(), shares[i],
+			func(at units.Time) { markDone(i, at) })
+		recv.Bind(flow, r)
+		snd2 := transport.NewSender(snd, flow, primary.ID(), recv.ID(), shares[i], mkCfg(rtt), nil)
+		snd.Bind(flow, snd2)
+		txSenders[i] = snd2
+		receivers[i] = r
+		snd2.Start(e)
+	}
+
+	// The faults.
+	inj := faults.New(e, s.Seed)
+	inj.CrashHost(primary, units.Time(spec.CrashAt), spec.RestartAfter)
+	if spec.BlackholeDur > 0 {
+		inj.BlackholePorts("inter-dc", net.InterDCPorts(),
+			units.Time(spec.BlackholeAt), spec.BlackholeDur)
+	}
+
+	// The failover controller. Re-homed flows get offset IDs so the old
+	// bindings (and any packets still in flight on them) stay inert.
+	res := &ChaosResult{}
+	newSenders := make([]*transport.Sender, 0, s.Degree)
+	if spec.Mode != FailoverNone {
+		e.Schedule(units.Time(spec.CrashAt+spec.DetectionDelay), func(e *sim.Engine) {
+			for i := range txSenders {
+				if flowDone[i] {
+					continue
+				}
+				i := i
+				txSenders[i].Abort()
+				remaining := shares[i] - receivers[i].Bytes()
+				if remaining <= 0 {
+					// Every byte is delivered; the completion
+					// callback just hasn't fired (it would have).
+					continue
+				}
+				newFlow := netsim.FlowID(i+1) + netsim.FlowID(1)<<21
+				snd := senders[i]
+				var s2 *transport.Sender
+				switch spec.Mode {
+				case FailoverStandby:
+					rtt := net.PathRTT(snd, standby, s.MSS, netsim.ControlSize) +
+						net.PathRTT(standby, recv, s.MSS, netsim.ControlSize)
+					p := proxy.NewStreamlined(standby, newFlow, snd.ID(), recv.ID(),
+						s.ProxyProcDelay, src.Split(int64(newFlow)))
+					p.NoEarlyNack = s.NoEarlyFeedback
+					standby.Bind(newFlow, p)
+					r := transport.NewReceiver(recv, newFlow, standby.ID(), remaining,
+						func(at units.Time) { markDone(i, at) })
+					recv.Bind(newFlow, r)
+					s2 = transport.NewSender(snd, newFlow, standby.ID(), recv.ID(),
+						remaining, mkCfg(rtt), nil)
+				case FailoverDirect:
+					rtt := net.PathRTT(snd, recv, s.MSS, netsim.ControlSize)
+					r := transport.NewReceiver(recv, newFlow, snd.ID(), remaining,
+						func(at units.Time) { markDone(i, at) })
+					recv.Bind(newFlow, r)
+					s2 = transport.NewSender(snd, newFlow, recv.ID(), 0,
+						remaining, mkCfg(rtt), nil)
+				}
+				snd.Bind(newFlow, s2)
+				newSenders = append(newSenders, s2)
+				res.FailedOver++
+				res.RehomedBytes += remaining
+				s2.Start(e)
+			}
+		})
+	}
+
+	e.RunUntil(units.Time(s.MaxSimTime))
+
+	res.RunResult = RunResult{
+		ICT:       units.Duration(lastDone),
+		Completed: completedFlows == s.Degree,
+		Events:    e.Processed(),
+	}
+	for _, snd := range append(append([]*transport.Sender(nil), txSenders...), newSenders...) {
+		res.Timeouts += snd.Stats.Timeouts
+		res.Retransmits += snd.Stats.Retransmits
+		res.Nacks += snd.Stats.Nacks
+		res.MarkedAcks += snd.Stats.MarkedAcks
+		res.PktsSent += snd.Stats.PktsSent
+	}
+	rst := net.DownToRPort(recv).Stats()
+	pst := net.DownToRPort(primary).Stats()
+	res.ReceiverToRMaxQueue = rst.MaxBytes
+	res.ReceiverToRDrops = rst.Dropped
+	res.ProxyToRMaxQueue = pst.MaxBytes
+	res.ProxyToRTrims = pst.Trimmed
+	res.ProxyToRDrops = pst.Dropped
+	res.Timeline = inj.Timeline()
+
+	if !res.Completed {
+		return res, fmt.Errorf("chaos incast incomplete after %v: %d/%d flows done (mode %v)",
+			s.MaxSimTime, completedFlows, s.Degree, spec.Mode)
+	}
+	return res, nil
+}
