@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race fuzz chaos figures fmt
+.PHONY: build test check race fuzz chaos figures fmt bench lint
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The CI gate: static analysis plus the full suite under the race detector
-# (the chaos, relay, and lan tests all exercise real concurrency).
-check:
-	$(GO) vet ./...
+# The CI gate: static analysis, the virtual-time lint, and the full suite
+# under the race detector (the chaos, relay, and lan tests all exercise
+# real concurrency).
+check: lint
 	$(GO) test -race ./...
+
+# Static analysis plus the wall-clock ban: internal/sim, netsim, transport,
+# and obs run on virtual time only — a time.Now/time.Sleep there breaks
+# byte-identical determinism (see TestNoWallClockInVirtualTimePaths).
+lint:
+	$(GO) vet ./...
+	$(GO) test -run TestNoWallClockInVirtualTimePaths ./internal/obs/
+
+# Microbenchmarks: instrument hot-path costs (obs) and the instrumented vs
+# uninstrumented incast comparison backing the ≤5% overhead budget.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkTracerInstant|BenchmarkSnapshot' -benchmem ./internal/obs/
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 3x .
 
 race:
 	$(GO) test -race ./...

@@ -13,6 +13,7 @@ package incastproxy
 
 import (
 	"incastproxy/internal/netsim"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/stats"
 	"incastproxy/internal/topo"
@@ -156,3 +157,17 @@ const (
 
 // RunChaos simulates one incast under proxy failure.
 func RunChaos(spec ChaosSpec) (*ChaosResult, error) { return workload.RunChaos(spec) }
+
+// Observability types: every run carries a Manifest (seed, config hash,
+// final metric snapshot) and, when ObsConfig.Trace is set, a Tracer whose
+// events export as CSV or Chrome trace-event JSON (viewable in Perfetto).
+type (
+	// ObsConfig controls a run's observability (IncastSpec.Obs).
+	ObsConfig = workload.ObsConfig
+	// Tracer is an append-only flow/queue event trace in virtual time.
+	Tracer = obs.Tracer
+	// MetricsSnapshot is a deterministic point-in-time metrics copy.
+	MetricsSnapshot = obs.Snapshot
+	// Manifest identifies a run and embeds its metric snapshot.
+	Manifest = obs.Manifest
+)

@@ -333,3 +333,28 @@ func BenchmarkScenarioMoE(b *testing.B) {
 	b.Run("direct", func(b *testing.B) { run(b, false) })
 	b.Run("proxied", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkObsOverhead quantifies what the observability layer costs a
+// simulated incast: the registry's lazy collectors should keep the
+// always-on instrumented run within a few percent of the uninstrumented
+// baseline, while full event tracing pays for its per-event appends.
+// Compare ns/op across the three sub-benches (ISSUE budget: metrics ≤5%).
+func BenchmarkObsOverhead(b *testing.B) {
+	base := IncastSpec{Scheme: ProxyStreamlined, Degree: 4, TotalBytes: 8 * MB, Runs: 1, Seed: 7}
+	cases := []struct {
+		name string
+		obs  *ObsConfig
+	}{
+		{"uninstrumented", &ObsConfig{Disable: true}},
+		{"metrics", nil}, // the always-on default
+		{"metrics+trace", &ObsConfig{Trace: true}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			spec := base
+			spec.Obs = c.obs
+			benchIncast(b, spec)
+		})
+	}
+}

@@ -31,7 +31,9 @@ func main() {
 		interLatRaw = flag.String("inter-latency", "1ms", "long-haul link propagation delay")
 		noEarly     = flag.Bool("no-early-feedback", false, "streamlined ablation: relay trimmed headers instead of NACKing")
 		iwScale     = flag.Float64("iw-scale", 1.0, "initial window as a multiple of 1 BDP")
-		traceCSV    = flag.String("trace", "", "write receiver/proxy down-ToR queue time series to this CSV file")
+		traceJSON   = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+		queueCSV    = flag.String("queue-csv", "", "write receiver/proxy down-ToR queue time series to this CSV file")
+		manifest    = flag.Bool("manifest", false, "print each run's manifest (seed, config hash)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,7 @@ func main() {
 	}
 
 	var recorders []*trace.Recorder
+	var traces []*incastproxy.Tracer
 	var baseline incastproxy.Duration
 	for _, s := range schemes {
 		spec := incastproxy.IncastSpec{
@@ -64,9 +67,13 @@ func main() {
 			NoEarlyFeedback: *noEarly,
 			IWScale:         *iwScale,
 		}
-		if *traceCSV != "" {
-			scheme := s
+		if *traceJSON != "" {
 			spec.Runs = 1 // one trace per scheme
+			spec.Obs = &incastproxy.ObsConfig{Trace: true}
+		}
+		if *queueCSV != "" {
+			scheme := s
+			spec.Runs = 1
 			spec.OnBuild = func(net *topo.Network, e *sim.Engine) {
 				r := trace.New(units.Duration(100*units.Microsecond), units.MaxTime)
 				r.Watch(fmt.Sprintf("%v/receiver-tor", scheme), net.DownToRPort(net.Hosts[1][0]))
@@ -80,6 +87,9 @@ func main() {
 			fatal(err)
 		}
 		rr := res.Runs[0]
+		if rr.Trace != nil {
+			traces = append(traces, rr.Trace)
+		}
 		fmt.Printf("%-18s ICT avg=%v min=%v max=%v", s, res.ICT.Avg(), res.ICT.Min(), res.ICT.Max())
 		if s == incastproxy.Baseline {
 			baseline = res.ICT.Avg()
@@ -89,10 +99,33 @@ func main() {
 		fmt.Printf("\n  timeouts=%d retx=%d nacks=%d  rxToR(max=%v drops=%d)  pxToR(max=%v trims=%d)\n",
 			rr.Timeouts, rr.Retransmits, rr.Nacks,
 			rr.ReceiverToRMaxQueue, rr.ReceiverToRDrops, rr.ProxyToRMaxQueue, rr.ProxyToRTrims)
+		if *manifest && rr.Manifest != nil {
+			fmt.Printf("  %s\n", rr.Manifest)
+		}
 	}
 
-	if *traceCSV != "" && len(recorders) > 0 {
-		f, err := os.Create(*traceCSV)
+	if *traceJSON != "" && len(traces) > 0 {
+		// Multiple schemes merge onto one timeline (their events carry
+		// distinct flow labels); Perfetto renders them side by side.
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		merged := traces[0]
+		for _, t := range traces[1:] {
+			merged.Append(t)
+		}
+		if err := merged.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (open in https://ui.perfetto.dev)\n", *traceJSON)
+	}
+
+	if *queueCSV != "" && len(recorders) > 0 {
+		f, err := os.Create(*queueCSV)
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +138,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		fmt.Printf("queue time series written to %s\n", *traceCSV)
+		fmt.Printf("queue time series written to %s\n", *queueCSV)
 	}
 }
 

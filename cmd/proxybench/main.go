@@ -14,9 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	incastproxy "incastproxy"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/stats"
+	"incastproxy/internal/units"
 )
 
 func main() {
@@ -26,8 +29,22 @@ func main() {
 		nackPct = flag.Float64("nack-fraction", 0.05, "fraction of trimmed-header packets (Fig 5a mix)")
 		points  = flag.Int("points", 0, "also print N evenly spaced CDF points per figure")
 		seed    = flag.Int64("seed", 1, "model random seed")
+		debugAt = flag.String("debug-addr", "", "serve /metrics + /debug/pprof on this address; keeps the process alive after the run until interrupted")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *debugAt != "" {
+		_, dl, err := obs.ServeDebug(*debugAt, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "proxybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("proxybench: debug endpoint on http://%v/metrics (pprof under /debug/pprof/)\n", dl.Addr())
+	}
+	pktCount := reg.Counter("proxybench_packets_total")
+	figCount := reg.Counter("proxybench_figures_total")
+	latP99 := reg.Gauge("proxybench_last_p99_us")
 
 	show := func(name string) bool { return *fig == "all" || *fig == name }
 	emit := func(title string, c *stats.CDF) {
@@ -37,6 +54,9 @@ func main() {
 				fmt.Printf("cdf %g %v\n", p.Prob, p.Latency)
 			}
 		}
+		pktCount.Add(uint64(*packets))
+		figCount.Add(1)
+		latP99.Set(int64(c.Quantile(0.99) / units.Duration(units.Microsecond)))
 		fmt.Println()
 	}
 
@@ -53,5 +73,12 @@ func main() {
 	if show("5b") {
 		emit("Figure 5b: stack-inclusive upper bound (paper median=325.92us)",
 			incastproxy.Figure5b(*packets, *seed+2))
+	}
+
+	if *debugAt != "" {
+		fmt.Println("proxybench: run complete; debug endpoint still serving (interrupt to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }

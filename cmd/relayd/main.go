@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"incastproxy/internal/cliutil"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/relay"
 )
 
@@ -39,12 +40,13 @@ func main() {
 		sizeRaw = flag.String("size", "100MB", "bytes per connection (source)")
 		conns   = flag.Int("conns", 4, "concurrent connections (source) — the incast degree")
 		allowed = flag.String("allow-prefix", "", "restrict relay targets to this address prefix")
+		debugAt = flag.String("debug-addr", "", "serve /metrics + /debug/pprof on this address (proxy mode)")
 	)
 	flag.Parse()
 
 	switch *mode {
 	case "proxy":
-		runProxy(*listen, *allowed)
+		runProxy(*listen, *allowed, *debugAt)
 	case "sink":
 		runSink(*listen)
 	case "source":
@@ -54,17 +56,24 @@ func main() {
 	}
 }
 
-func runProxy(listen, allowPrefix string) {
+func runProxy(listen, allowPrefix, debugAddr string) {
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := relay.Config{}
+	cfg := relay.Config{Registry: obs.NewRegistry()}
 	if allowPrefix != "" {
 		cfg.AllowTarget = func(addr string) bool { return strings.HasPrefix(addr, allowPrefix) }
 	}
 	srv := relay.New(cfg)
 	fmt.Printf("relayd: proxy listening on %v\n", l.Addr())
+	if debugAddr != "" {
+		_, dl, err := obs.ServeDebug(debugAddr, cfg.Registry)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("relayd: debug endpoint on http://%v/metrics (pprof under /debug/pprof/)\n", dl.Addr())
+	}
 
 	go reportMetrics(srv)
 	go func() {

@@ -25,6 +25,10 @@ type FigurePoint struct {
 	// BaselineAvg carries the matching baseline average so reductions
 	// can be computed per point.
 	BaselineAvg Duration
+	// ConfigHash fingerprints the exact spec that produced this point
+	// (from the run manifest), so figure rows are traceable to a
+	// reproducible configuration.
+	ConfigHash uint64
 }
 
 // Reduction returns this point's relative ICT reduction versus baseline.
@@ -172,6 +176,9 @@ func sweepPoint(cfg SweepConfig, label string, x float64, customize func(*Incast
 			Min:    res.ICT.Min(),
 			Max:    res.ICT.Max(),
 		}
+		if len(res.Runs) > 0 && res.Runs[0].Manifest != nil {
+			p.ConfigHash = res.Runs[0].Manifest.ConfigHash
+		}
 		if s == Baseline {
 			baseAvg = p.Avg
 		}
@@ -207,13 +214,17 @@ func MeanReduction(pts []FigurePoint, s Scheme) float64 {
 func WriteFigureTable(w io.Writer, title string, pts []FigurePoint) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "# %s\n", title)
-	fmt.Fprintln(tw, "point\tscheme\tavg\tmin\tmax\treduction")
+	fmt.Fprintln(tw, "point\tscheme\tavg\tmin\tmax\treduction\tconfig")
 	for _, p := range pts {
 		red := "-"
 		if p.Scheme != Baseline && p.BaselineAvg > 0 {
 			red = fmt.Sprintf("%.2f%%", p.Reduction()*100)
 		}
-		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%v\t%s\n", p.Label, p.Scheme, p.Avg, p.Min, p.Max, red)
+		cfg := "-"
+		if p.ConfigHash != 0 {
+			cfg = fmt.Sprintf("%08x", p.ConfigHash>>32)
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%v\t%s\t%s\n", p.Label, p.Scheme, p.Avg, p.Min, p.Max, red, cfg)
 	}
 	return tw.Flush()
 }

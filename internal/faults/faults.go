@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"incastproxy/internal/netsim"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/stats"
@@ -100,6 +101,12 @@ type Injector struct {
 	// class — the raw material for recovery-time analysis alongside
 	// transport SenderStats.
 	Outages map[Kind]*stats.Sample
+
+	// Observability (optional): trace receives one Begin/End span per fault
+	// window (category "fault", one track per kind); outageHist accumulates
+	// cleared outage durations in microseconds.
+	trace      *obs.Tracer
+	outageHist *obs.Histogram
 }
 
 // New returns an injector whose random choices (flap times, corruption
@@ -115,6 +122,40 @@ func New(e *sim.Engine, seed int64) *Injector {
 			Corruption: {},
 		},
 	}
+}
+
+// SetTracer attaches (or with nil, detaches) an event tracer: every fault
+// window becomes a Begin/End span in category "fault" on a per-kind track,
+// with the target in the span's args.
+func (in *Injector) SetTracer(t *obs.Tracer) { in.trace = t }
+
+// Instrument exports the injector's activity to the registry: lazy
+// injected/cleared/active collectors plus a histogram of cleared outage
+// durations (faults_outage_us).
+func (in *Injector) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("faults_injected_total", func() uint64 {
+		var n uint64
+		for _, ev := range in.events {
+			if ev.Phase == Injected {
+				n++
+			}
+		}
+		return n
+	})
+	reg.CounterFunc("faults_cleared_total", func() uint64 {
+		var n uint64
+		for _, ev := range in.events {
+			if ev.Phase == Cleared {
+				n++
+			}
+		}
+		return n
+	})
+	reg.GaugeFunc("faults_active", func() int64 { return int64(in.active) })
+	in.outageHist = reg.Histogram("faults_outage_us", obs.DefaultDurationBucketsMicros())
 }
 
 // Timeline returns the fault edges executed so far, in execution order.
@@ -135,11 +176,16 @@ func (in *Injector) Count(k Kind) int {
 }
 
 func (in *Injector) record(k Kind, p Phase, target string) {
-	in.events = append(in.events, Event{Kind: k, Phase: p, At: in.engine.Now(), Target: target})
+	now := in.engine.Now()
+	in.events = append(in.events, Event{Kind: k, Phase: p, At: now, Target: target})
 	if p == Injected {
 		in.active++
+		in.trace.Begin(now, "fault", k.String(), int64(k),
+			obs.Arg{Key: "target", Val: target})
 	} else {
 		in.active--
+		in.trace.End(now, "fault", k.String(), int64(k),
+			obs.Arg{Key: "target", Val: target})
 	}
 }
 
@@ -156,6 +202,7 @@ func (in *Injector) schedule(k Kind, target string, at units.Time,
 			clear()
 			in.record(k, Cleared, target)
 			in.Outages[k].AddDuration(dur)
+			in.outageHist.Observe(int64(dur) / int64(units.Microsecond))
 		})
 	})
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"incastproxy/internal/obs"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/units"
@@ -93,18 +94,46 @@ func (p *Port) Down() bool { return p.down }
 // Pass nil to clear.
 func (p *Port) SetCorrupt(fn func(*Packet) bool) { p.corrupt = fn }
 
+// SetTracer attaches (or, with nil, detaches) an event tracer to this
+// port's egress queue: every trim, drop, ECN mark, down-drop, and
+// corruption event is recorded as an instant on the packet's flow track.
+func (p *Port) SetTracer(t *obs.Tracer) {
+	p.q.trace = t
+	p.q.label = p.label
+}
+
+// Instrument exports this port's queue counters to the registry as lazy
+// collectors under netsim_queue_* names labelled with the port, plus its
+// occupancy high-water mark. Zero hot-path cost: values are read from
+// QueueStats only at snapshot time.
+func (p *Port) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	label := fmt.Sprintf("{port=%q}", p.label)
+	reg.CounterFunc("netsim_queue_enqueued_total"+label, func() uint64 { return p.q.Stats.Enqueued })
+	reg.CounterFunc("netsim_queue_dropped_total"+label, func() uint64 { return p.q.Stats.Dropped })
+	reg.CounterFunc("netsim_queue_trimmed_total"+label, func() uint64 { return p.q.Stats.Trimmed })
+	reg.CounterFunc("netsim_queue_marked_total"+label, func() uint64 { return p.q.Stats.Marked })
+	reg.CounterFunc("netsim_queue_corrupted_total"+label, func() uint64 { return p.q.Stats.Corrupted })
+	reg.GaugeFunc("netsim_queue_max_bytes"+label, func() int64 { return int64(p.q.Stats.MaxBytes) })
+	reg.GaugeFunc("netsim_queue_bytes"+label, func() int64 { return int64(p.q.bytesQueued()) })
+}
+
 // Send enqueues pkt for transmission out of this port. Drops and trims are
 // applied by the queue according to its configuration.
 func (p *Port) Send(e *sim.Engine, pkt *Packet) {
 	if p.down {
 		p.q.Stats.Dropped++
+		p.q.traceEvent(e.Now(), "down-drop", pkt)
 		return
 	}
 	if p.corrupt != nil && p.corrupt(pkt) {
 		p.q.Stats.Corrupted++
+		p.q.traceEvent(e.Now(), "corrupt", pkt)
 		return
 	}
-	if !p.q.enqueue(pkt) {
+	if !p.q.enqueue(e.Now(), pkt) {
 		return // dropped; counted in queue stats
 	}
 	p.tryTransmit(e)

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"incastproxy/internal/obs"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/units"
 )
@@ -44,6 +45,11 @@ type queue struct {
 	data  fifo
 	prio  fifo
 	Stats QueueStats
+
+	// trace, when set, receives per-packet instant events (trim, drop,
+	// mark) on the flow's track; label names the owning port.
+	trace *obs.Tracer
+	label string
 }
 
 type fifo struct {
@@ -78,9 +84,9 @@ func newQueue(cfg QueueConfig, src *rng.Source) *queue {
 	return &queue{cfg: cfg, src: src}
 }
 
-// enqueue admits p, applying marking, trimming, or dropping. It reports
-// whether the packet was accepted (possibly trimmed).
-func (q *queue) enqueue(p *Packet) bool {
+// enqueue admits p at virtual time now, applying marking, trimming, or
+// dropping. It reports whether the packet was accepted (possibly trimmed).
+func (q *queue) enqueue(now units.Time, p *Packet) bool {
 	if p.IsControl() {
 		return q.enqueuePrio(p)
 	}
@@ -89,12 +95,14 @@ func (q *queue) enqueue(p *Packet) bool {
 		if q.cfg.Trim {
 			p.Trim()
 			q.Stats.Trimmed++
+			q.traceEvent(now, "trim", p)
 			return q.enqueuePrio(p)
 		}
 		q.Stats.Dropped++
+		q.traceEvent(now, "drop", p)
 		return false
 	}
-	q.maybeMark(p)
+	q.maybeMark(now, p)
 	q.data.push(p)
 	q.Stats.Enqueued++
 	q.Stats.BytesSeen += p.Size
@@ -115,9 +123,16 @@ func (q *queue) enqueuePrio(p *Packet) bool {
 	return true
 }
 
+// traceEvent records one per-packet queue event on the flow's track.
+func (q *queue) traceEvent(now units.Time, what string, p *Packet) {
+	if q.trace != nil {
+		q.trace.Instant(now, "queue", what, int64(p.Flow), obs.Arg{Key: "port", Val: q.label})
+	}
+}
+
 // maybeMark applies RED-style ECN marking based on the instantaneous data
 // queue occupancy the packet observes on arrival.
-func (q *queue) maybeMark(p *Packet) {
+func (q *queue) maybeMark(now units.Time, p *Packet) {
 	if q.cfg.MarkHigh <= 0 {
 		return
 	}
@@ -138,6 +153,7 @@ func (q *queue) maybeMark(p *Packet) {
 	}
 	if p.ECN {
 		q.Stats.Marked++
+		q.traceEvent(now, "mark", p)
 	}
 }
 

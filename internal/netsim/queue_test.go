@@ -15,7 +15,7 @@ func dataPkt(id uint64, size units.ByteSize) *Packet {
 func TestQueueFIFOOrder(t *testing.T) {
 	q := newQueue(QueueConfig{Capacity: 10000}, nil)
 	for i := uint64(1); i <= 5; i++ {
-		if !q.enqueue(dataPkt(i, 100)) {
+		if !q.enqueue(0, dataPkt(i, 100)) {
 			t.Fatalf("enqueue %d failed", i)
 		}
 	}
@@ -32,10 +32,10 @@ func TestQueueFIFOOrder(t *testing.T) {
 
 func TestQueueDropTail(t *testing.T) {
 	q := newQueue(QueueConfig{Capacity: 250}, nil)
-	if !q.enqueue(dataPkt(1, 100)) || !q.enqueue(dataPkt(2, 100)) {
+	if !q.enqueue(0, dataPkt(1, 100)) || !q.enqueue(0, dataPkt(2, 100)) {
 		t.Fatal("first two packets should fit")
 	}
-	if q.enqueue(dataPkt(3, 100)) {
+	if q.enqueue(0, dataPkt(3, 100)) {
 		t.Fatal("third packet should be dropped (250B capacity)")
 	}
 	if q.Stats.Dropped != 1 {
@@ -46,7 +46,7 @@ func TestQueueDropTail(t *testing.T) {
 func TestQueueUnboundedWhenCapacityZero(t *testing.T) {
 	q := newQueue(QueueConfig{}, nil)
 	for i := uint64(0); i < 1000; i++ {
-		if !q.enqueue(dataPkt(i, 1500)) {
+		if !q.enqueue(0, dataPkt(i, 1500)) {
 			t.Fatal("unbounded queue must never drop")
 		}
 	}
@@ -57,10 +57,10 @@ func TestQueueUnboundedWhenCapacityZero(t *testing.T) {
 
 func TestQueueTrimOnOverflow(t *testing.T) {
 	q := newQueue(QueueConfig{Capacity: 250, Trim: true}, nil)
-	q.enqueue(dataPkt(1, 100))
-	q.enqueue(dataPkt(2, 100))
+	q.enqueue(0, dataPkt(1, 100))
+	q.enqueue(0, dataPkt(2, 100))
 	p3 := dataPkt(3, 1500)
-	if !q.enqueue(p3) {
+	if !q.enqueue(0, p3) {
 		t.Fatal("overflowing packet should be trimmed, not dropped")
 	}
 	if !p3.Trimmed || p3.Size != ControlSize || p3.FullSize != 1500 {
@@ -77,9 +77,9 @@ func TestQueueTrimOnOverflow(t *testing.T) {
 
 func TestControlPacketsUsePriorityBand(t *testing.T) {
 	q := newQueue(QueueConfig{Capacity: 1 << 20}, nil)
-	q.enqueue(dataPkt(1, 1500))
+	q.enqueue(0, dataPkt(1, 1500))
 	ackP := &Packet{ID: 2, Kind: Ack, Size: ControlSize}
-	q.enqueue(ackP)
+	q.enqueue(0, ackP)
 	if got := q.pop(); got.ID != 2 {
 		t.Fatalf("ACK should dequeue first, got %d", got.ID)
 	}
@@ -92,10 +92,10 @@ func TestPriorityBandCapacity(t *testing.T) {
 	q := newQueue(QueueConfig{PrioCapacity: 100}, nil)
 	a := &Packet{ID: 1, Kind: Ack, Size: 64}
 	b := &Packet{ID: 2, Kind: Ack, Size: 64}
-	if !q.enqueue(a) {
+	if !q.enqueue(0, a) {
 		t.Fatal("first ack should fit")
 	}
-	if q.enqueue(b) {
+	if q.enqueue(0, b) {
 		t.Fatal("second ack should be dropped")
 	}
 	if q.Stats.Dropped != 1 {
@@ -108,14 +108,14 @@ func TestECNMarkingThresholds(t *testing.T) {
 	q := newQueue(cfg, rng.New(1))
 	// Below MarkLow: never marked.
 	p := dataPkt(1, 500)
-	q.enqueue(p)
+	q.enqueue(0, p)
 	if p.ECN {
 		t.Fatal("packet below MarkLow must not be marked")
 	}
 	// Push occupancy above MarkHigh: always marked.
-	q.enqueue(dataPkt(2, 1500))
+	q.enqueue(0, dataPkt(2, 1500))
 	p3 := dataPkt(3, 500)
-	q.enqueue(p3) // occupancy 2500 > 2000
+	q.enqueue(0, p3) // occupancy 2500 > 2000
 	if !p3.ECN {
 		t.Fatal("packet above MarkHigh must be marked")
 	}
@@ -129,9 +129,9 @@ func TestECNMarkingProbabilisticBetweenThresholds(t *testing.T) {
 	src := rng.New(7)
 	for i := 0; i < 2000; i++ {
 		q := newQueue(QueueConfig{Capacity: 1 << 30, MarkLow: 1000, MarkHigh: 2000}, src)
-		q.enqueue(dataPkt(1, 1000)) // occupancy 1000 = MarkLow, unmarked
-		p := dataPkt(2, 500)        // occupancy 1500, mid-range: p(mark)=0.5
-		q.enqueue(p)
+		q.enqueue(0, dataPkt(1, 1000)) // occupancy 1000 = MarkLow, unmarked
+		p := dataPkt(2, 500)           // occupancy 1500, mid-range: p(mark)=0.5
+		q.enqueue(0, p)
 		total++
 		if p.ECN {
 			marked++
@@ -147,7 +147,7 @@ func TestMarkingDisabled(t *testing.T) {
 	q := newQueue(QueueConfig{Capacity: 1 << 30}, nil)
 	for i := uint64(0); i < 100; i++ {
 		p := dataPkt(i, 1500)
-		q.enqueue(p)
+		q.enqueue(0, p)
 		if p.ECN {
 			t.Fatal("marking disabled but packet marked")
 		}
@@ -156,10 +156,10 @@ func TestMarkingDisabled(t *testing.T) {
 
 func TestQueueHighWatermark(t *testing.T) {
 	q := newQueue(QueueConfig{Capacity: 1 << 20}, nil)
-	q.enqueue(dataPkt(1, 1000))
-	q.enqueue(dataPkt(2, 1000))
+	q.enqueue(0, dataPkt(1, 1000))
+	q.enqueue(0, dataPkt(2, 1000))
 	q.pop()
-	q.enqueue(dataPkt(3, 100))
+	q.enqueue(0, dataPkt(3, 100))
 	if q.Stats.MaxBytes != 2000 {
 		t.Fatalf("MaxBytes = %v, want 2000", q.Stats.MaxBytes)
 	}
@@ -188,7 +188,7 @@ func TestPropertyQueueConservation(t *testing.T) {
 			} else {
 				p = dataPkt(id, size)
 			}
-			if q.enqueue(p) {
+			if q.enqueue(0, p) {
 				accepted++
 			}
 		}

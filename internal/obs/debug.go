@@ -1,0 +1,57 @@
+package obs
+
+// Live introspection for the real-host substrate (relayd, proxybench):
+// an HTTP mux exposing net/http/pprof, expvar, and the metrics registry
+// in both Prometheus text and JSON forms. The simulator never serves
+// this — virtual-time telemetry is exported at end of run instead.
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux returns a mux serving:
+//
+//	/metrics           registry snapshot, Prometheus text format
+//	/metrics.json      registry snapshot as JSON
+//	/debug/vars        expvar (Go runtime memstats et al.)
+//	/debug/pprof/...   the standard pprof surface
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeSnapshotJSON(w, reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeSnapshotJSON(w http.ResponseWriter, s Snapshot) {
+	m := NewManifest(0, "live", s)
+	m.WriteJSON(w)
+}
+
+// ServeDebug listens on addr and serves the debug mux in a background
+// goroutine. It returns the bound listener (use addr ":0" in tests and read
+// l.Addr()) and the server for shutdown.
+func ServeDebug(addr string, reg *Registry) (*http.Server, net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg)}
+	go srv.Serve(l)
+	return srv, l, nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The acceptance check for live introspection: a registry served on an
+// ephemeral port exposes Prometheus text, JSON, and the pprof index.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("relay_accepted_conns_total").Add(3)
+	reg.Gauge("relay_active_conns").Set(1)
+
+	srv, l, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := fmt.Sprintf("http://%v", l.Addr())
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	get := func(path string) (int, string) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "relay_accepted_conns_total 3") ||
+		!strings.Contains(body, "# TYPE relay_accepted_conns_total counter") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status = %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v\n%s", err, body)
+	}
+	mets, ok := doc["metrics"].(map[string]any)
+	if !ok || mets["relay_active_conns"] != 1.0 {
+		t.Fatalf("/metrics.json metrics = %v", doc["metrics"])
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status=%d body:\n%.200s", code, body)
+	}
+
+	if code, _ = get("/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+}

@@ -1,0 +1,36 @@
+// Package obs is the unified observability layer: a zero-dependency
+// (stdlib-only) metrics registry, a structured event tracer, and a live
+// debug/introspection surface shared by the simulator, the transport, and
+// the real-host relay substrate.
+//
+// The three pieces and their contracts:
+//
+//   - Registry: typed counters, gauges, and fixed-bucket histograms with
+//     cheap atomic hot-path recording, plus lazy "collector" funcs that pull
+//     values already tracked elsewhere (queue stats, sender stats) only at
+//     snapshot time — zero hot-path cost. Snapshots are sorted by name, so
+//     the same run state always serializes to the same bytes.
+//
+//   - Tracer: an append-only log of virtual-time events (flow lifecycle,
+//     queue trims/marks/drops, fault windows, cwnd trajectories) exportable
+//     as Chrome trace-event JSON (loadable in Perfetto or chrome://tracing)
+//     and as CSV. Events are recorded in engine execution order; since the
+//     simulator is deterministic for a seed, so is the export.
+//
+//   - Debug surface: an http.ServeMux with net/http/pprof, a Prometheus
+//     text /metrics endpoint, and a JSON snapshot, served by relayd and
+//     proxybench under -debug-addr.
+//
+// Determinism contract: nothing in this package reads the wall clock or
+// any other ambient nondeterminism on a recording path. Timestamps always
+// come from the caller (simulated time). A seeded run instrumented through
+// this package therefore produces byte-identical snapshots and trace
+// exports on every execution — the property the determinism tests in
+// internal/workload assert, and the property that makes a metrics snapshot
+// trustworthy before/after evidence for optimization work.
+//
+// All write paths are nil-receiver safe: a nil *Registry hands out nil
+// instruments, and recording on a nil instrument is a no-op, so packages
+// can instrument unconditionally and let the caller decide whether
+// telemetry exists.
+package obs

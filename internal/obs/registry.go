@@ -1,0 +1,420 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. All methods are safe
+// for concurrent use and safe on a nil receiver (writes become no-ops, reads
+// return zero), so hot paths can record unconditionally.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value. (Named for drop-in compatibility with the
+// atomic.Uint64 fields it replaced in relay.Metrics.)
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Value returns the current value.
+func (c *Counter) Value() uint64 { return c.Load() }
+
+// Gauge is a settable int64 metric (e.g. active connections). Nil-safe like
+// Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add adjusts the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.Load() }
+
+// MaxGauge tracks the high-water mark of an observed quantity.
+type MaxGauge struct {
+	v atomic.Int64
+}
+
+// Observe raises the recorded maximum to n if n exceeds it.
+func (m *MaxGauge) Observe(n int64) {
+	if m == nil {
+		return
+	}
+	for {
+		cur := m.v.Load()
+		if n <= cur {
+			return
+		}
+		if m.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (m *MaxGauge) Load() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.v.Load()
+}
+
+// Value returns the high-water mark.
+func (m *MaxGauge) Value() int64 { return m.Load() }
+
+// Histogram counts int64 observations into fixed buckets. Bounds are
+// inclusive upper edges in ascending order; an implicit +Inf bucket catches
+// the rest. Observe is lock-free: a binary search plus three atomic adds.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// DefaultDurationBucketsMicros returns histogram bounds suited to latencies
+// from sub-microsecond NIC hops to multi-second RTO stalls, in microseconds.
+func DefaultDurationBucketsMicros() []int64 {
+	return []int64{1, 2, 5, 10, 20, 50, 100, 200, 500,
+		1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+		100_000, 200_000, 500_000, 1_000_000, 5_000_000}
+}
+
+// Registry holds named instruments and lazy collectors. Get-or-create
+// lookups lock; recording on the returned instrument does not. A nil
+// *Registry hands out nil instruments, so instrumentation can be wired
+// unconditionally. Create with NewRegistry.
+type Registry struct {
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	maxes        map[string]*MaxGauge
+	hists        map[string]*Histogram
+	counterFuncs map[string]func() uint64
+	gaugeFuncs   map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		maxes:        make(map[string]*MaxGauge),
+		hists:        make(map[string]*Histogram),
+		counterFuncs: make(map[string]func() uint64),
+		gaugeFuncs:   make(map[string]func() int64),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Max returns the high-water gauge with the given name, creating it on
+// first use.
+func (r *Registry) Max(name string) *MaxGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.maxes[name]
+	if !ok {
+		m = &MaxGauge{}
+		r.maxes[name] = m
+	}
+	return m
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given bucket bounds on first use (later calls reuse the existing buckets).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := append([]int64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers a lazy counter: fn is invoked only at snapshot time.
+// Use it to export values some other struct already tracks (queue stats,
+// sender stats) with zero hot-path cost.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFuncs[name] = fn
+}
+
+// GaugeFunc registers a lazy gauge, evaluated only at snapshot time.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// NamedValue is one scalar metric in a snapshot.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// HistogramValue is one histogram in a snapshot. Counts has one entry per
+// bound plus a final +Inf bucket.
+type HistogramValue struct {
+	Name   string
+	Bounds []int64
+	Counts []uint64
+	Sum    int64
+	Count  uint64
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric name.
+// Equal registry states produce byte-identical WriteText/WriteJSON output.
+type Snapshot struct {
+	Counters   []NamedValue
+	Gauges     []NamedValue
+	Histograms []HistogramValue
+}
+
+// Snapshot captures every instrument and collector. Collectors run under
+// the registry lock in sorted-name order.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, NamedValue{name, int64(c.Load())})
+	}
+	for name, fn := range r.counterFuncs {
+		s.Counters = append(s.Counters, NamedValue{name, int64(fn())})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, NamedValue{name, g.Load()})
+	}
+	for name, fn := range r.gaugeFuncs {
+		s.Gauges = append(s.Gauges, NamedValue{name, fn()})
+	}
+	for name, m := range r.maxes {
+		s.Gauges = append(s.Gauges, NamedValue{name, m.Load()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{
+			Name:   name,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.sum.Load(),
+			Count:  h.count.Load(),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sortNamed := func(vs []NamedValue) {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Name < vs[j].Name })
+	}
+	sortNamed(s.Counters)
+	sortNamed(s.Gauges)
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Get returns the snapshotted value of a scalar metric by name.
+func (s Snapshot) Get(name string) (int64, bool) {
+	for _, v := range s.Counters {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	for _, v := range s.Gauges {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// baseName strips a {label="x"} suffix for Prometheus TYPE lines.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteText serializes the snapshot in the Prometheus text exposition
+// format. Output is deterministic: sorted by name, fixed formatting.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var lastType string
+	emitType := func(name, kind string) error {
+		b := baseName(name)
+		key := b + "\x00" + kind
+		if key == lastType {
+			return nil
+		}
+		lastType = key
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", b, kind)
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := emitType(c.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := emitType(g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := emitType(h.Name, "histogram"); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.Name, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text returns the Prometheus text serialization as a string.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	s.WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"incastproxy/internal/units"
+)
+
+// Event phases, following the Chrome trace-event format.
+const (
+	PhaseBegin   byte = 'B' // start of a duration slice (flow start, fault inject)
+	PhaseEnd     byte = 'E' // end of a duration slice (flow completion, fault clear)
+	PhaseInstant byte = 'i' // a point event (trim, NACK, RTO, ...)
+	PhaseCounter byte = 'C' // a sampled value (cwnd, queue occupancy)
+)
+
+// Arg is one key/value annotation on an event.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// Event is one recorded trace entry. At is virtual (simulated) time; TID
+// groups events of one logical track (a flow ID, or 0 for component-level
+// events).
+type Event struct {
+	At   units.Time
+	Ph   byte
+	Cat  string
+	Name string
+	TID  int64
+	Args []Arg
+	// Val carries the sampled value for PhaseCounter events.
+	Val float64
+}
+
+// Tracer is an append-only event log in virtual time. The zero value is
+// unusable; create with NewTracer. A nil *Tracer discards every record,
+// so instrumented code never needs an enabled-check. Tracer is not
+// goroutine-safe: it is designed for the single-threaded simulator.
+type Tracer struct {
+	events []Event
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enabled reports whether records are being kept.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+func (t *Tracer) add(ev Event) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Begin opens a duration slice named name on track tid.
+func (t *Tracer) Begin(at units.Time, cat, name string, tid int64, args ...Arg) {
+	t.add(Event{At: at, Ph: PhaseBegin, Cat: cat, Name: name, TID: tid, Args: args})
+}
+
+// End closes the innermost open slice with the same name on track tid.
+func (t *Tracer) End(at units.Time, cat, name string, tid int64, args ...Arg) {
+	t.add(Event{At: at, Ph: PhaseEnd, Cat: cat, Name: name, TID: tid, Args: args})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(at units.Time, cat, name string, tid int64, args ...Arg) {
+	t.add(Event{At: at, Ph: PhaseInstant, Cat: cat, Name: name, TID: tid, Args: args})
+}
+
+// Count records a sampled value; name identifies the counter track (embed
+// the flow/port label in it — Chrome counters are keyed by name, not tid).
+func (t *Tracer) Count(at units.Time, cat, name string, tid int64, val float64) {
+	t.add(Event{At: at, Ph: PhaseCounter, Cat: cat, Name: name, TID: tid, Val: val})
+}
+
+// Append copies every event of other onto t in record order, merging the
+// two logs onto one timeline (e.g. one trace file for several schemes).
+func (t *Tracer) Append(other *Tracer) {
+	if t == nil || other == nil {
+		return
+	}
+	t.events = append(t.events, other.events...)
+}
+
+// Logf records a free-form instant annotation, the shim for the old
+// trace.Recorder.Log call sites.
+func (t *Tracer) Logf(at units.Time, cat string, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Instant(at, cat, fmt.Sprintf(format, args...), 0)
+}
+
+// tsMicros renders a picosecond virtual timestamp as the microsecond
+// double Chrome expects, with fixed precision for determinism.
+func tsMicros(at units.Time) string {
+	return strconv.FormatFloat(float64(at)/1e6, 'f', 6, 64)
+}
+
+// WriteChromeTrace serializes the log in the Chrome trace-event JSON array
+// format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Counter events become args:{"value": v}; instant events get scope "t"
+// (thread) so they render as ticks on their flow track.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range t.Events() {
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if err := writeChromeEvent(w, ev); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+func writeChromeEvent(w io.Writer, ev Event) error {
+	name, err := json.Marshal(ev.Name)
+	if err != nil {
+		return err
+	}
+	cat, err := json.Marshal(ev.Cat)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, `{"name":%s,"cat":%s,"ph":"%c","ts":%s,"pid":1,"tid":%d`,
+		name, cat, ev.Ph, tsMicros(ev.At), ev.TID); err != nil {
+		return err
+	}
+	if ev.Ph == PhaseInstant {
+		if _, err := io.WriteString(w, `,"s":"t"`); err != nil {
+			return err
+		}
+	}
+	if ev.Ph == PhaseCounter {
+		if _, err := fmt.Fprintf(w, `,"args":{"value":%s}`,
+			strconv.FormatFloat(ev.Val, 'g', -1, 64)); err != nil {
+			return err
+		}
+	} else if len(ev.Args) > 0 {
+		if _, err := io.WriteString(w, `,"args":{`); err != nil {
+			return err
+		}
+		for i, a := range ev.Args {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			k, err := json.Marshal(a.Key)
+			if err != nil {
+				return err
+			}
+			v, err := json.Marshal(a.Val)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s:%s", k, v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	_, err = io.WriteString(w, "}")
+	return err
+}
+
+// WriteCSV serializes the log as one deterministic CSV table:
+// time_us,phase,cat,name,tid,value,args. Args are joined k=v;k=v.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_us,phase,cat,name,tid,value,args\n"); err != nil {
+		return err
+	}
+	for _, ev := range t.Events() {
+		val := ""
+		if ev.Ph == PhaseCounter {
+			val = strconv.FormatFloat(ev.Val, 'g', -1, 64)
+		}
+		args := ""
+		for i, a := range ev.Args {
+			if i > 0 {
+				args += ";"
+			}
+			args += a.Key + "=" + a.Val
+		}
+		if _, err := fmt.Fprintf(w, "%s,%c,%s,%s,%d,%s,%s\n",
+			tsMicros(ev.At), ev.Ph, csvEscape(ev.Cat), csvEscape(ev.Name), ev.TID, val, csvEscape(args)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a field if it contains a comma, quote, or newline.
+func csvEscape(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' || c == '\r' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	return strconv.Quote(s)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The simulator and everything it records through run on virtual time;
+// a single wall-clock read in a recording path silently breaks run-to-run
+// determinism (and the byte-identical manifest/trace guarantee). This lint
+// forbids wall-clock calls in the non-test sources of the virtual-time
+// packages. `make lint` runs it explicitly.
+func TestNoWallClockInVirtualTimePaths(t *testing.T) {
+	banned := map[string]bool{
+		"Now": true, "Sleep": true, "Since": true, "Until": true,
+		"Tick": true, "After": true, "NewTimer": true, "NewTicker": true,
+	}
+	dirs := []string{"../sim", "../netsim", "../transport", "."}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ent := range entries {
+			name := ent.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			// Resolve the local name of the "time" import (usually "time").
+			timePkg := ""
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) == "time" {
+					timePkg = "time"
+					if imp.Name != nil {
+						timePkg = imp.Name.Name
+					}
+				}
+			}
+			if timePkg == "" {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok || pkg.Name != timePkg || !banned[sel.Sel.Name] {
+					return true
+				}
+				t.Errorf("%s: wall-clock call time.%s in a virtual-time package (use the sim engine clock)",
+					fset.Position(sel.Pos()), sel.Sel.Name)
+				return true
+			})
+		}
+	}
+}

@@ -43,6 +43,9 @@ func (o *Orchestrator) MarkDown(ref workload.HostRef) bool {
 	if !ok {
 		return false
 	}
+	if !st.down {
+		o.met.markDowns.Inc()
+	}
 	st.down = true
 	return true
 }
@@ -54,6 +57,9 @@ func (o *Orchestrator) MarkUp(ref workload.HostRef) bool {
 	st, ok := o.proxies[ref]
 	if !ok {
 		return false
+	}
+	if st.down {
+		o.met.markUps.Inc()
 	}
 	st.down = false
 	return true
@@ -104,7 +110,11 @@ func (o *Orchestrator) Release(id PlacementID) {
 func (o *Orchestrator) Failover(ref workload.HostRef) []Replacement {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.met.failovers.Inc()
 	if st, ok := o.proxies[ref]; ok {
+		if !st.down {
+			o.met.markDowns.Inc()
+		}
 		st.down = true
 	}
 	stranded := o.assignmentsLocked(ref)
@@ -115,6 +125,7 @@ func (o *Orchestrator) Failover(ref workload.HostRef) []Replacement {
 		re := Replacement{ID: a.ID, From: ref}
 		if best := o.bestHealthyLocked(a.Req.SenderDC); best != nil {
 			id := o.assign(best, a.Req)
+			o.met.rehomed.Inc()
 			re.To = Decision{
 				UseProxy:   true,
 				Proxy:      best.info.Ref,

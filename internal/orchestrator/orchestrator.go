@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"incastproxy/internal/obs"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/units"
 	"incastproxy/internal/workload"
@@ -79,6 +80,47 @@ type Orchestrator struct {
 	src      *rng.Source
 	nextID   PlacementID
 	assigned map[PlacementID]*Placement
+
+	// met holds registry instruments (see Instrument). The fields stay
+	// nil until Instrument is called; nil instruments record nothing, so
+	// the hot paths update them unconditionally.
+	met struct {
+		decisions, proxied, direct, probes *obs.Counter
+		failovers, rehomed                 *obs.Counter
+		markDowns, markUps                 *obs.Counter
+	}
+}
+
+// Instrument registers the orchestrator's activity counters and live
+// assignment gauges under orchestrator_* names. Call once, before use.
+func (o *Orchestrator) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	o.met.decisions = reg.Counter("orchestrator_decisions_total")
+	o.met.proxied = reg.Counter("orchestrator_proxied_total")
+	o.met.direct = reg.Counter("orchestrator_direct_total")
+	o.met.probes = reg.Counter("orchestrator_probes_total")
+	o.met.failovers = reg.Counter("orchestrator_failovers_total")
+	o.met.rehomed = reg.Counter("orchestrator_rehomed_total")
+	o.met.markDowns = reg.Counter("orchestrator_mark_down_total")
+	o.met.markUps = reg.Counter("orchestrator_mark_up_total")
+	reg.GaugeFunc("orchestrator_assignments", func() int64 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return int64(len(o.assigned))
+	})
+	reg.GaugeFunc("orchestrator_proxies_down", func() int64 {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		var n int64
+		for _, st := range o.proxies {
+			if st.down {
+				n++
+			}
+		}
+		return n
+	})
 }
 
 // Errors returned by selection.
@@ -141,7 +183,9 @@ func WorthProxying(req Request) (bool, string) {
 // committed bytes, then active incasts) registered proxy in the sending
 // datacenter.
 func (o *Orchestrator) Decide(req Request) (Decision, error) {
+	o.met.decisions.Inc()
 	if ok, reason := WorthProxying(req); !ok {
+		o.met.direct.Inc()
 		return Decision{UseProxy: false, Reason: reason}, nil
 	}
 	o.mu.Lock()
@@ -162,6 +206,8 @@ func (o *Orchestrator) Decide(req Request) (Decision, error) {
 		return Decision{}, ErrNoProxies
 	}
 	id := o.assign(best, req)
+	o.met.proxied.Inc()
+	o.met.probes.Add(uint64(probes))
 	return Decision{
 		UseProxy:   true,
 		Proxy:      best.info.Ref,
@@ -176,7 +222,9 @@ func (o *Orchestrator) Decide(req Request) (Decision, error) {
 // picks the least loaded of the sample — the "repeated trials by individual
 // incast" alternative, trading probe overhead for selection quality.
 func (o *Orchestrator) DecideDecentralized(req Request, trials int) (Decision, error) {
+	o.met.decisions.Inc()
 	if ok, reason := WorthProxying(req); !ok {
+		o.met.direct.Inc()
 		return Decision{UseProxy: false, Reason: reason}, nil
 	}
 	if trials < 1 {
@@ -203,6 +251,8 @@ func (o *Orchestrator) DecideDecentralized(req Request, trials int) (Decision, e
 		}
 	}
 	id := o.assign(best, req)
+	o.met.proxied.Inc()
+	o.met.probes.Add(uint64(probes))
 	return Decision{
 		UseProxy:   true,
 		Proxy:      best.info.Ref,

@@ -16,6 +16,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"incastproxy/internal/obs"
 )
 
 // DialPolicy bounds one logical dial: how many attempts, how long each may
@@ -89,6 +91,9 @@ type ClientConfig struct {
 	HealthInterval time.Duration
 	// HealthTimeout caps one probe (default AttemptTimeout).
 	HealthTimeout time.Duration
+	// Registry, if set, registers the client's Metrics under
+	// relay_client_* names.
+	Registry *obs.Registry
 }
 
 // Client dials targets through a relay with retries, health tracking, and
@@ -122,7 +127,12 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.HealthTimeout <= 0 {
 		cfg.HealthTimeout = cfg.Policy.AttemptTimeout
 	}
-	c := &Client{cfg: cfg, stop: make(chan struct{}), loopDone: make(chan struct{})}
+	c := &Client{
+		cfg:      cfg,
+		Metrics:  NewMetrics(cfg.Registry, "relay_client"),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
 	if cfg.HealthInterval > 0 {
 		go c.healthLoop()
 	} else {

@@ -17,25 +17,55 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"incastproxy/internal/obs"
 	"incastproxy/internal/wire"
 )
 
-// Metrics exposes the relay's runtime counters; all fields are updated
-// atomically and safe to read concurrently.
+// Metrics exposes the relay's runtime counters. The fields are registry
+// instruments (atomically updated, safe to read concurrently) and keep the
+// Load/Add accessors of the atomic fields they replaced, so existing callers
+// compile unchanged; with a registry attached the same values also appear in
+// snapshots under relay_* names.
 type Metrics struct {
-	AcceptedConns atomic.Uint64
-	ActiveConns   atomic.Int64
-	DialErrors    atomic.Uint64
-	BytesUpstream atomic.Uint64 // client -> target
-	BytesDownstr  atomic.Uint64 // target -> client
+	AcceptedConns *obs.Counter
+	ActiveConns   *obs.Gauge
+	DialErrors    *obs.Counter
+	BytesUpstream *obs.Counter // client -> target
+	BytesDownstr  *obs.Counter // target -> client
 
 	// Client-side resilience counters (see Client).
-	DialRetries atomic.Uint64 // relay dial attempts beyond the first
-	Fallbacks   atomic.Uint64 // flows degraded to the direct path
-	HealthFlaps atomic.Uint64 // healthy <-> unhealthy transitions
+	DialRetries *obs.Counter // relay dial attempts beyond the first
+	Fallbacks   *obs.Counter // flows degraded to the direct path
+	HealthFlaps *obs.Counter // healthy <-> unhealthy transitions
+}
+
+// NewMetrics builds the instrument set, registered under prefix_* when reg
+// is non-nil, standalone otherwise.
+func NewMetrics(reg *obs.Registry, prefix string) Metrics {
+	if reg == nil {
+		return Metrics{
+			AcceptedConns: &obs.Counter{},
+			ActiveConns:   &obs.Gauge{},
+			DialErrors:    &obs.Counter{},
+			BytesUpstream: &obs.Counter{},
+			BytesDownstr:  &obs.Counter{},
+			DialRetries:   &obs.Counter{},
+			Fallbacks:     &obs.Counter{},
+			HealthFlaps:   &obs.Counter{},
+		}
+	}
+	return Metrics{
+		AcceptedConns: reg.Counter(prefix + "_accepted_conns_total"),
+		ActiveConns:   reg.Gauge(prefix + "_active_conns"),
+		DialErrors:    reg.Counter(prefix + "_dial_errors_total"),
+		BytesUpstream: reg.Counter(prefix + "_bytes_upstream_total"),
+		BytesDownstr:  reg.Counter(prefix + "_bytes_downstream_total"),
+		DialRetries:   reg.Counter(prefix + "_dial_retries_total"),
+		Fallbacks:     reg.Counter(prefix + "_fallbacks_total"),
+		HealthFlaps:   reg.Counter(prefix + "_health_flaps_total"),
+	}
 }
 
 // Config parameterizes a relay Server.
@@ -58,6 +88,9 @@ type Config struct {
 	// partial header holds a handler goroutine and connection slot
 	// forever — a slowloris on the relay's accept path.
 	PreambleTimeout time.Duration
+	// Registry, if set, registers the server's Metrics under relay_*
+	// names, so a -debug-addr endpoint can expose them.
+	Registry *obs.Registry
 }
 
 // Server is a relay instance. Create with New, run with Serve.
@@ -90,8 +123,16 @@ func New(cfg Config) *Server {
 	if cfg.PreambleTimeout <= 0 {
 		cfg.PreambleTimeout = 10 * time.Second
 	}
-	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		cfg:     cfg,
+		Metrics: NewMetrics(cfg.Registry, "relay"),
+		conns:   make(map[net.Conn]struct{}),
+	}
 }
+
+// Registry returns the registry the server's metrics are registered in
+// (nil when Config.Registry was not set).
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
 
 // Serve accepts relay clients on l until Close (or a fatal accept error).
 func (s *Server) Serve(l net.Listener) error {

@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"incastproxy/internal/obs"
 	"incastproxy/internal/units"
 )
 
@@ -70,6 +71,16 @@ func New() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() units.Time { return e.now }
+
+// Instrument exports the engine's progress to a metrics registry via lazy
+// collectors: no per-event recording cost, the values are read only at
+// snapshot time.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("sim_events_dispatched_total", func() uint64 { return e.processed })
+	reg.CounterFunc("sim_events_scheduled_total", func() uint64 { return e.seq })
+	reg.GaugeFunc("sim_pending_events", func() int64 { return int64(len(e.events)) })
+	reg.GaugeFunc("sim_virtual_time_us", func() int64 { return int64(e.now) / int64(units.Microsecond) })
+}
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }

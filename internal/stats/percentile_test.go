@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge cases for Sample.Percentile: empty and single-element
+// samples, the p=0/p=100 extremes (and out-of-range p), duplicate values,
+// and linear interpolation between closest ranks.
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		p      float64
+		want   float64
+	}{
+		{"empty/p50", nil, 50, 0},
+		{"empty/p0", nil, 0, 0},
+		{"empty/p100", nil, 100, 0},
+
+		{"single/p0", []float64{7}, 0, 7},
+		{"single/p50", []float64{7}, 50, 7},
+		{"single/p100", []float64{7}, 100, 7},
+
+		{"two/p0", []float64{10, 20}, 0, 10},
+		{"two/p25", []float64{10, 20}, 25, 12.5},
+		{"two/p50", []float64{10, 20}, 50, 15},
+		{"two/p100", []float64{10, 20}, 100, 20},
+
+		// Out-of-range p clamps to the extremes.
+		{"clamp/negative", []float64{1, 2, 3}, -10, 1},
+		{"clamp/over100", []float64{1, 2, 3}, 150, 3},
+
+		// All-duplicate samples report the duplicate at every rank.
+		{"dup/p0", []float64{5, 5, 5, 5}, 0, 5},
+		{"dup/p37", []float64{5, 5, 5, 5}, 37, 5},
+		{"dup/p100", []float64{5, 5, 5, 5}, 100, 5},
+
+		// Partial duplicates still interpolate over sorted ranks:
+		// sorted [1 1 2], p50 -> rank 1 -> 1, p75 -> rank 1.5 -> 1.5.
+		{"partialdup/p50", []float64{2, 1, 1}, 50, 1},
+		{"partialdup/p75", []float64{2, 1, 1}, 75, 1.5},
+
+		// Interpolation between closest ranks: sorted [10 20 30 40],
+		// p50 -> rank 1.5 -> 25; p90 -> rank 2.7 -> 37.
+		{"interp/p50", []float64{40, 10, 30, 20}, 50, 25},
+		{"interp/p90", []float64{40, 10, 30, 20}, 90, 37},
+		// Exact-rank hit needs no interpolation.
+		{"exact/p50of5", []float64{1, 2, 3, 4, 5}, 50, 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sample
+			for _, v := range tc.values {
+				s.Add(v)
+			}
+			got := s.Percentile(tc.p)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Percentile(%v) of %v = %v, want %v", tc.p, tc.values, got, tc.want)
+			}
+		})
+	}
+}
+
+// Adding after a percentile query must re-sort, not append past the sorted
+// prefix.
+func TestPercentileAfterAdd(t *testing.T) {
+	var s Sample
+	s.Add(30)
+	s.Add(10)
+	if got := s.Percentile(100); got != 30 {
+		t.Fatalf("p100 = %v", got)
+	}
+	s.Add(50)
+	if got := s.Percentile(100); got != 50 {
+		t.Fatalf("p100 after Add = %v, want 50", got)
+	}
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("p0 after Add = %v, want 10", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"incastproxy/internal/netsim"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/units"
@@ -329,6 +330,74 @@ func (n *Network) Switches() []*netsim.Switch {
 		out = append(out, n.Spines[dc]...)
 	}
 	return append(out, n.Backbones...)
+}
+
+// AllPorts returns every port in the fabric (both directions of every
+// link): switch egress ports plus host NICs.
+func (n *Network) AllPorts() []*netsim.Port {
+	var out []*netsim.Port
+	for _, sw := range n.Switches() {
+		out = append(out, sw.Ports()...)
+	}
+	for dc := 0; dc < 2; dc++ {
+		for _, h := range n.Hosts[dc] {
+			if h.NIC() != nil {
+				out = append(out, h.NIC())
+			}
+		}
+	}
+	return out
+}
+
+// SetTracer attaches (or with nil, detaches) an event tracer to every port
+// queue in the fabric: trims, drops, marks, down-drops, and corruptions
+// become instants on the affected flow's track.
+func (n *Network) SetTracer(t *obs.Tracer) {
+	for _, p := range n.AllPorts() {
+		p.SetTracer(t)
+	}
+}
+
+// Instrument exports fabric-wide aggregate queue counters to the registry as
+// lazy collectors (netsim_fabric_*). Per-port series would be 18k metrics on
+// the paper's full fabric; experiments that need one port's detail call
+// Port.Instrument on just that port.
+func (n *Network) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	ports := n.AllPorts()
+	sum := func(pick func(*netsim.QueueStats) uint64) func() uint64 {
+		return func() uint64 {
+			var total uint64
+			for _, p := range ports {
+				st := p.Stats()
+				total += pick(&st)
+			}
+			return total
+		}
+	}
+	reg.CounterFunc("netsim_fabric_enqueued_total", sum(func(s *netsim.QueueStats) uint64 { return s.Enqueued }))
+	reg.CounterFunc("netsim_fabric_dropped_total", sum(func(s *netsim.QueueStats) uint64 { return s.Dropped }))
+	reg.CounterFunc("netsim_fabric_trimmed_total", sum(func(s *netsim.QueueStats) uint64 { return s.Trimmed }))
+	reg.CounterFunc("netsim_fabric_marked_total", sum(func(s *netsim.QueueStats) uint64 { return s.Marked }))
+	reg.CounterFunc("netsim_fabric_corrupted_total", sum(func(s *netsim.QueueStats) uint64 { return s.Corrupted }))
+	reg.GaugeFunc("netsim_fabric_max_queue_bytes", func() int64 {
+		var hi units.ByteSize
+		for _, p := range ports {
+			if m := p.Stats().MaxBytes; m > hi {
+				hi = m
+			}
+		}
+		return int64(hi)
+	})
+	reg.GaugeFunc("netsim_fabric_queued_bytes", func() int64 {
+		var total units.ByteSize
+		for _, p := range ports {
+			total += p.QueuedBytes()
+		}
+		return int64(total)
+	})
 }
 
 // DownToRPort returns the leaf egress port feeding host h — the "down-ToR"

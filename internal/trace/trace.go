@@ -2,6 +2,11 @@
 // queue-occupancy samples (how Figure 1's "congestion point" story is
 // visualized) and timestamped flow events. A Recorder attaches to ports of
 // interest and samples them on the simulation clock.
+//
+// The export path is rebased on internal/obs: CSV rows are merged on the
+// union of sample timestamps in time order (the old writer aligned rows by
+// index, misattributing timestamps whenever series differed in length), and
+// Log events can be forwarded to an obs.Tracer for Chrome trace export.
 package trace
 
 import (
@@ -10,6 +15,7 @@ import (
 	"sort"
 
 	"incastproxy/internal/netsim"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/units"
 )
@@ -65,6 +71,7 @@ type Recorder struct {
 	series   []*QueueSeries
 	events   []Event
 	started  bool
+	tracer   *obs.Tracer
 }
 
 // New returns a recorder sampling every interval until the given simulated
@@ -107,9 +114,16 @@ func (r *Recorder) Start(e *sim.Engine) {
 	e.After(0, tick)
 }
 
+// SetTracer forwards subsequent Log events into t as instants (category
+// "log"), putting Recorder annotations on the same Chrome trace timeline as
+// flow and queue events. Nil detaches.
+func (r *Recorder) SetTracer(t *obs.Tracer) { r.tracer = t }
+
 // Log appends a timestamped event.
 func (r *Recorder) Log(at units.Time, format string, args ...any) {
-	r.events = append(r.events, Event{At: at, What: fmt.Sprintf(format, args...)})
+	what := fmt.Sprintf(format, args...)
+	r.events = append(r.events, Event{At: at, What: what})
+	r.tracer.Instant(at, "log", what, 0)
 }
 
 // Events returns the recorded events in time order.
@@ -122,41 +136,25 @@ func (r *Recorder) Events() []Event {
 // Series returns the recorded queue series in Watch order.
 func (r *Recorder) Series() []*QueueSeries { return r.series }
 
-// WriteCSV emits "time_us,label1_bytes,label2_bytes,..." rows, aligned on
-// the common sampling clock.
+// SeriesSet converts the recorded queue series to an obs.SeriesSet, the
+// shared deterministic export path.
+func (r *Recorder) SeriesSet() *obs.SeriesSet {
+	ss := &obs.SeriesSet{}
+	for _, q := range r.series {
+		s := ss.Add(q.Label)
+		for _, smp := range q.Samples {
+			s.Add(smp.At, int64(smp.Bytes))
+		}
+	}
+	return ss
+}
+
+// WriteCSV emits "time_us,label1,label2,..." rows merged on the union of
+// all sample timestamps in time order. Series sampled over different windows
+// (a port watched late, a sampler stopped early) get blank cells instead of
+// another series' timestamps — the old index-aligned writer interleaved them
+// by sample position, attributing row times from whichever series happened
+// to be listed first.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprint(w, "time_us"); err != nil {
-		return err
-	}
-	for _, s := range r.series {
-		fmt.Fprintf(w, ",%s", s.Label)
-	}
-	fmt.Fprintln(w)
-	n := 0
-	for _, s := range r.series {
-		if len(s.Samples) > n {
-			n = len(s.Samples)
-		}
-	}
-	for i := 0; i < n; i++ {
-		var at units.Time
-		for _, s := range r.series {
-			if i < len(s.Samples) {
-				at = s.Samples[i].At
-				break
-			}
-		}
-		fmt.Fprintf(w, "%.3f", units.Duration(at).Microseconds())
-		for _, s := range r.series {
-			if i < len(s.Samples) {
-				fmt.Fprintf(w, ",%d", s.Samples[i].Bytes)
-			} else {
-				fmt.Fprint(w, ",")
-			}
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
-	}
-	return nil
+	return r.SeriesSet().WriteCSV(w)
 }

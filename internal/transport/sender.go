@@ -1,7 +1,10 @@
 package transport
 
 import (
+	"fmt"
+
 	"incastproxy/internal/netsim"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/units"
 )
@@ -90,6 +93,14 @@ type Sender struct {
 	doneAt        units.Time
 	onDone        func(units.Time)
 	Stats         SenderStats
+
+	// Observability (see Attach): tel is the shared per-run sink, label
+	// names this flow on trace tracks, eng lets engine-less entry points
+	// (Abort) timestamp their events, startedAt anchors the FCT.
+	tel       *Telemetry
+	label     string
+	eng       *sim.Engine
+	startedAt units.Time
 }
 
 type orderEntry struct {
@@ -138,16 +149,41 @@ func newSender(host *netsim.Host, flow netsim.FlowID, dst, finalDst netsim.NodeI
 	}
 }
 
+// Attach wires the sender to a telemetry sink under the given flow label.
+// Call before Start; a nil sink is valid and records nothing.
+func (s *Sender) Attach(tel *Telemetry, label string) {
+	s.tel = tel
+	s.label = label
+}
+
 // Start begins transmission at the engine's current time.
 func (s *Sender) Start(e *sim.Engine) {
 	if s.started {
 		return
 	}
 	s.started = true
+	s.eng = e
+	s.startedAt = e.Now()
 	s.timer = sim.NewTimer(e, s.onTimeout)
 	s.alphaNext = e.Now().Add(s.cfg.ExpectedRTT)
+	if tr := s.tel.tracer(); tr != nil {
+		tr.Begin(e.Now(), "flow", s.label, int64(s.flow),
+			obs.Arg{Key: "bytes", Val: fmt.Sprintf("%d", s.totalBytes)})
+		s.traceWindow(e)
+	}
 	s.checkDone(e) // a zero-byte flow completes immediately
 	s.trySend(e)
+}
+
+// traceWindow samples the congestion state (cwnd, alpha, RTO) onto the
+// flow's counter tracks.
+func (s *Sender) traceWindow(e *sim.Engine) {
+	tr := s.tel.tracer()
+	if tr == nil {
+		return
+	}
+	tr.Count(e.Now(), "transport", "cwnd "+s.label, int64(s.flow), s.cwnd)
+	tr.Count(e.Now(), "transport", "alpha "+s.label, int64(s.flow), s.alpha)
 }
 
 // Supply appends one packet of the given size to a streaming sender.
@@ -177,6 +213,10 @@ func (s *Sender) Abort() {
 	s.aborted = true
 	if s.timer != nil {
 		s.timer.Cancel()
+	}
+	if tr := s.tel.tracer(); tr != nil && s.eng != nil && !s.done {
+		tr.Instant(s.eng.Now(), "flow", "abort", int64(s.flow))
+		tr.End(s.eng.Now(), "flow", s.label, int64(s.flow), obs.Arg{Key: "outcome", Val: "aborted"})
 	}
 }
 
@@ -338,6 +378,11 @@ func (s *Sender) onAck(e *sim.Engine, p *netsim.Packet) {
 		s.acked[seq] = true
 		s.ackedBytes += s.sizeOf(seq)
 		s.ackedPkts++
+		if s.ackedPkts == 1 {
+			if tr := s.tel.tracer(); tr != nil {
+				tr.Instant(e.Now(), "flow", "first-ack", int64(s.flow))
+			}
+		}
 		delete(s.lost, seq) // a late arrival cancels a pending retransmit
 		// F-RTO-style undo (RFC 5682 spirit, cited by the paper): an
 		// ACK of an *original* transmission for a packet the timeout
@@ -349,12 +394,16 @@ func (s *Sender) onAck(e *sim.Engine, p *netsim.Packet) {
 			s.backoff = 0
 			s.rtoUndone = true
 			s.Stats.SpuriousRTO++
+			if tr := s.tel.tracer(); tr != nil {
+				tr.Instant(e.Now(), "flow", "rto-undo", int64(s.flow))
+			}
 		}
 		marked := p.EchoECN
 		if marked && (rec == nil || rec.sentAt < s.recoveryPoint) {
 			marked = false // stale signal from before the last reduction
 		}
 		s.updateWindow(e, s.sizeOf(seq), marked)
+		s.traceWindow(e)
 	}
 	s.checkDone(e)
 	s.trySend(e)
@@ -381,6 +430,11 @@ func (s *Sender) onNack(e *sim.Engine, p *netsim.Packet) {
 		s.clampWindow()
 		s.ssthresh = s.cwnd
 		s.Stats.Decreases++
+		s.traceWindow(e)
+	}
+	if tr := s.tel.tracer(); tr != nil {
+		tr.Instant(e.Now(), "flow", "nack", int64(s.flow),
+			obs.Arg{Key: "seq", Val: fmt.Sprintf("%d", seq)})
 	}
 	s.trySend(e)
 }
@@ -479,6 +533,7 @@ func (s *Sender) sampleRTT(rtt units.Duration) {
 	if s.rto > s.cfg.MaxRTO {
 		s.rto = s.cfg.MaxRTO
 	}
+	s.tel.observeRTT(rtt)
 }
 
 // onTimeout fires when the oldest outstanding packet has been unacknowledged
@@ -507,6 +562,7 @@ func (s *Sender) onTimeout(e *sim.Engine) {
 	}
 	if expired {
 		// Flush the whole window into the retransmit queue.
+		flushed := 0
 		for _, front := range s.sendOrder {
 			rec := s.outstanding[front.seq]
 			if rec == nil || rec.sentAt != front.sentAt {
@@ -517,10 +573,16 @@ func (s *Sender) onTimeout(e *sim.Engine) {
 			if !s.lost[front.seq] && !s.acked[front.seq] {
 				s.lost[front.seq] = true
 				s.retxQ = append(s.retxQ, front.seq)
+				flushed++
 			}
 		}
 		s.sendOrder = s.sendOrder[:0]
 		s.Stats.Timeouts++
+		if tr := s.tel.tracer(); tr != nil {
+			tr.Instant(e.Now(), "flow", "rto", int64(s.flow),
+				obs.Arg{Key: "flushed", Val: fmt.Sprintf("%d", flushed)},
+				obs.Arg{Key: "backoff", Val: fmt.Sprintf("%d", s.backoff)})
+		}
 		// Standard loss-recovery target: remember half the pre-loss
 		// window so slow start rebuilds quickly, then reset the
 		// window itself (§4.1: "resets its congestion window upon
@@ -533,6 +595,7 @@ func (s *Sender) onTimeout(e *sim.Engine) {
 		if s.backoff < 16 {
 			s.backoff++
 		}
+		s.traceWindow(e)
 	}
 	s.rearmTimer(e)
 	s.trySend(e)
@@ -577,6 +640,11 @@ func (s *Sender) checkDone(e *sim.Engine) {
 		s.doneAt = e.Now()
 		if s.timer != nil {
 			s.timer.Cancel()
+		}
+		s.tel.observeFCT(s.doneAt.Sub(s.startedAt))
+		if tr := s.tel.tracer(); tr != nil {
+			tr.End(e.Now(), "flow", s.label, int64(s.flow),
+				obs.Arg{Key: "outcome", Val: "completed"})
 		}
 		if s.onDone != nil {
 			s.onDone(e.Now())

@@ -1,0 +1,101 @@
+package transport
+
+// Telemetry is the shared observability sink for the senders of one run:
+// an RTT histogram in the metrics registry plus (optionally) a flow-event
+// tracer. One Telemetry serves every flow — per-flow series are separated
+// on the tracer's tracks, aggregate distributions share the histogram.
+//
+// A nil *Telemetry (and a Telemetry holding nil instruments) records
+// nothing; senders call through unconditionally.
+
+import (
+	"incastproxy/internal/obs"
+	"incastproxy/internal/units"
+)
+
+// Telemetry carries the instruments a Sender records into.
+type Telemetry struct {
+	// RTT accumulates smoothed-RTT input samples, in microseconds.
+	RTT *obs.Histogram
+	// FCT accumulates flow completion times, in microseconds.
+	FCT *obs.Histogram
+	// Trace receives flow lifecycle events and cwnd/alpha trajectories.
+	Trace *obs.Tracer
+}
+
+// NewTelemetry registers the transport histograms on reg (nil-safe) and
+// binds the tracer (which may be nil to disable event recording).
+func NewTelemetry(reg *obs.Registry, tr *obs.Tracer) *Telemetry {
+	return &Telemetry{
+		RTT:   reg.Histogram("transport_rtt_us", obs.DefaultDurationBucketsMicros()),
+		FCT:   reg.Histogram("transport_fct_us", obs.DefaultDurationBucketsMicros()),
+		Trace: tr,
+	}
+}
+
+func (t *Telemetry) observeRTT(d units.Duration) {
+	if t != nil {
+		t.RTT.Observe(int64(d) / int64(units.Microsecond))
+	}
+}
+
+func (t *Telemetry) observeFCT(d units.Duration) {
+	if t != nil {
+		t.FCT.Observe(int64(d) / int64(units.Microsecond))
+	}
+}
+
+func (t *Telemetry) tracer() *obs.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Trace
+}
+
+// InstrumentSenders exports the summed SenderStats of a (growing) slice of
+// senders as lazy registry collectors. The slice pointer is captured, so
+// senders appended after registration are included in later snapshots.
+func InstrumentSenders(reg *obs.Registry, senders *[]*Sender) {
+	if reg == nil {
+		return
+	}
+	sum := func(pick func(*SenderStats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, s := range *senders {
+				n += pick(&s.Stats)
+			}
+			return n
+		}
+	}
+	reg.CounterFunc("transport_pkts_sent_total", sum(func(s *SenderStats) uint64 { return s.PktsSent }))
+	reg.CounterFunc("transport_retransmits_total", sum(func(s *SenderStats) uint64 { return s.Retransmits }))
+	reg.CounterFunc("transport_timeouts_total", sum(func(s *SenderStats) uint64 { return s.Timeouts }))
+	reg.CounterFunc("transport_spurious_rto_total", sum(func(s *SenderStats) uint64 { return s.SpuriousRTO }))
+	reg.CounterFunc("transport_nacks_total", sum(func(s *SenderStats) uint64 { return s.Nacks }))
+	reg.CounterFunc("transport_marked_acks_total", sum(func(s *SenderStats) uint64 { return s.MarkedAcks }))
+	reg.CounterFunc("transport_unmarked_acks_total", sum(func(s *SenderStats) uint64 { return s.UnmarkedAcks }))
+	reg.CounterFunc("transport_decreases_total", sum(func(s *SenderStats) uint64 { return s.Decreases }))
+}
+
+// InstrumentReceivers exports the summed ReceiverStats of a (growing) slice
+// of receivers as lazy registry collectors.
+func InstrumentReceivers(reg *obs.Registry, receivers *[]*Receiver) {
+	if reg == nil {
+		return
+	}
+	sum := func(pick func(*ReceiverStats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, r := range *receivers {
+				n += pick(&r.Stats)
+			}
+			return n
+		}
+	}
+	reg.CounterFunc("transport_pkts_received_total", sum(func(s *ReceiverStats) uint64 { return s.PktsReceived }))
+	reg.CounterFunc("transport_duplicates_total", sum(func(s *ReceiverStats) uint64 { return s.Duplicates }))
+	reg.CounterFunc("transport_trimmed_seen_total", sum(func(s *ReceiverStats) uint64 { return s.TrimmedSeen }))
+	reg.CounterFunc("transport_acks_sent_total", sum(func(s *ReceiverStats) uint64 { return s.AcksSent }))
+	reg.CounterFunc("transport_nacks_sent_total", sum(func(s *ReceiverStats) uint64 { return s.NacksSent }))
+}

@@ -15,6 +15,7 @@ import (
 
 	"incastproxy/internal/faults"
 	"incastproxy/internal/netsim"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/proxy"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/sim"
@@ -142,6 +143,18 @@ func RunChaos(spec ChaosSpec) (*ChaosResult, error) {
 	shares := splitBytes(s.TotalBytes, s.Degree)
 	src := rng.New(s.Seed)
 
+	// allSenders/allRxs grow as failover re-homes flows; the instrumented
+	// collectors see the additions because the slice pointers are captured.
+	var allSenders []*transport.Sender
+	var allRxs []*transport.Receiver
+	ro := newRunObs(s.Obs)
+	ro.wire(e, net, &allSenders, &allRxs)
+	ro.watchPorts(e, units.Time(s.MaxSimTime), map[string]*netsim.Port{
+		"recv-tor":    net.DownToRPort(recv),
+		"primary-tor": net.DownToRPort(primary),
+		"standby-tor": net.DownToRPort(standby),
+	})
+
 	iwScale := s.IWScale
 	if iwScale <= 0 {
 		iwScale = 1
@@ -192,14 +205,19 @@ func RunChaos(spec ChaosSpec) (*ChaosResult, error) {
 			func(at units.Time) { markDone(i, at) })
 		recv.Bind(flow, r)
 		snd2 := transport.NewSender(snd, flow, primary.ID(), recv.ID(), shares[i], mkCfg(rtt), nil)
+		snd2.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 		snd.Bind(flow, snd2)
 		txSenders[i] = snd2
 		receivers[i] = r
+		allSenders = append(allSenders, snd2)
+		allRxs = append(allRxs, r)
 		snd2.Start(e)
 	}
 
 	// The faults.
 	inj := faults.New(e, s.Seed)
+	inj.SetTracer(ro.tracer)
+	inj.Instrument(ro.reg)
 	inj.CrashHost(primary, units.Time(spec.CrashAt), spec.RestartAfter)
 	if spec.BlackholeDur > 0 {
 		inj.BlackholePorts("inter-dc", net.InterDCPorts(),
@@ -238,6 +256,7 @@ func RunChaos(spec ChaosSpec) (*ChaosResult, error) {
 					r := transport.NewReceiver(recv, newFlow, standby.ID(), remaining,
 						func(at units.Time) { markDone(i, at) })
 					recv.Bind(newFlow, r)
+					allRxs = append(allRxs, r)
 					s2 = transport.NewSender(snd, newFlow, standby.ID(), recv.ID(),
 						remaining, mkCfg(rtt), nil)
 				case FailoverDirect:
@@ -245,13 +264,18 @@ func RunChaos(spec ChaosSpec) (*ChaosResult, error) {
 					r := transport.NewReceiver(recv, newFlow, snd.ID(), remaining,
 						func(at units.Time) { markDone(i, at) })
 					recv.Bind(newFlow, r)
+					allRxs = append(allRxs, r)
 					s2 = transport.NewSender(snd, newFlow, recv.ID(), 0,
 						remaining, mkCfg(rtt), nil)
 				}
+				s2.Attach(ro.tel, fmt.Sprintf("flow %d (failover)", newFlow))
 				snd.Bind(newFlow, s2)
 				newSenders = append(newSenders, s2)
+				allSenders = append(allSenders, s2)
 				res.FailedOver++
 				res.RehomedBytes += remaining
+				ro.tracer.Instant(e.Now(), "failover", spec.Mode.String(), int64(newFlow),
+					obs.Arg{Key: "remaining", Val: fmt.Sprintf("%d", remaining)})
 				s2.Start(e)
 			}
 		})
@@ -279,6 +303,8 @@ func RunChaos(spec ChaosSpec) (*ChaosResult, error) {
 	res.ProxyToRTrims = pst.Trimmed
 	res.ProxyToRDrops = pst.Dropped
 	res.Timeline = inj.Timeline()
+	res.Manifest = ro.manifest(s.Seed, spec.fingerprintString())
+	res.Trace = ro.tracer
 
 	if !res.Completed {
 		return res, fmt.Errorf("chaos incast incomplete after %v: %d/%d flows done (mode %v)",

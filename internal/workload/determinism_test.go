@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The observability acceptance bar: two runs of the same seeded spec must
+// produce byte-identical metric snapshots, manifests, and trace exports.
+// Any nondeterminism sneaking into the recording paths (map iteration,
+// pointer formatting, wall-clock reads) fails here.
+
+func incastArtifacts(t *testing.T, spec Spec) (snapshot, manifest, chrome, csv []byte) {
+	t.Helper()
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.Runs[0]
+	if rr.Manifest == nil {
+		t.Fatal("run produced no manifest")
+	}
+	var snap, man, chr, c bytes.Buffer
+	if err := rr.Manifest.Metrics.WriteText(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.Manifest.WriteJSON(&man); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Trace == nil {
+		t.Fatal("tracing was requested but RunResult.Trace is nil")
+	}
+	if err := rr.Trace.WriteChromeTrace(&chr); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.Trace.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Bytes(), man.Bytes(), chr.Bytes(), c.Bytes()
+}
+
+func TestIncastObservabilityDeterministic(t *testing.T) {
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			spec := quickSpec(scheme)
+			spec.Obs = &ObsConfig{Trace: true}
+			snap1, man1, chr1, csv1 := incastArtifacts(t, spec)
+			snap2, man2, chr2, csv2 := incastArtifacts(t, spec)
+			if !bytes.Equal(snap1, snap2) {
+				t.Errorf("metric snapshots differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", snap1, snap2)
+			}
+			if !bytes.Equal(man1, man2) {
+				t.Error("manifests differ")
+			}
+			if !bytes.Equal(chr1, chr2) {
+				t.Error("chrome trace exports differ")
+			}
+			if !bytes.Equal(csv1, csv2) {
+				t.Error("trace CSV exports differ")
+			}
+			if len(snap1) == 0 || len(chr1) == 0 {
+				t.Error("artifacts unexpectedly empty")
+			}
+		})
+	}
+}
+
+func TestChaosObservabilityDeterministic(t *testing.T) {
+	run := func() (snapshot, chrome []byte) {
+		spec := quickChaos(FailoverStandby)
+		spec.Incast.Obs = &ObsConfig{Trace: true}
+		res, err := RunChaos(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Manifest == nil || res.Trace == nil {
+			t.Fatal("chaos run missing manifest or trace")
+		}
+		var snap, chr bytes.Buffer
+		if err := res.Manifest.Metrics.WriteText(&snap); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Trace.WriteChromeTrace(&chr); err != nil {
+			t.Fatal(err)
+		}
+		return snap.Bytes(), chr.Bytes()
+	}
+	snap1, chr1 := run()
+	snap2, chr2 := run()
+	if !bytes.Equal(snap1, snap2) {
+		t.Errorf("chaos metric snapshots differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", snap1, snap2)
+	}
+	if !bytes.Equal(chr1, chr2) {
+		t.Error("chaos trace exports differ")
+	}
+	// The failover path must actually appear in the artifacts.
+	if !bytes.Contains(snap1, []byte("faults_injected_total")) {
+		t.Errorf("snapshot missing fault metrics:\n%s", snap1)
+	}
+	if !bytes.Contains(chr1, []byte(`"cat":"failover"`)) {
+		t.Errorf("trace missing failover events")
+	}
+}
+
+// Same spec, different seed: the config hash must match (identity excludes
+// the seed) while the artifacts may differ.
+func TestManifestConfigHashStableAcrossSeeds(t *testing.T) {
+	run := func(seed int64) *Result {
+		spec := quickSpec(Baseline)
+		spec.Seed = seed
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(2)
+	ma, mb := a.Runs[0].Manifest, b.Runs[0].Manifest
+	if ma.ConfigHash != mb.ConfigHash {
+		t.Fatalf("config hash changed with seed: %016x vs %016x", ma.ConfigHash, mb.ConfigHash)
+	}
+	if ma.Seed == mb.Seed {
+		t.Fatal("seeds should differ")
+	}
+}

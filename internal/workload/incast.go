@@ -14,6 +14,7 @@ import (
 
 	"incastproxy/internal/detect"
 	"incastproxy/internal/netsim"
+	"incastproxy/internal/obs"
 	"incastproxy/internal/proxy"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/sim"
@@ -111,6 +112,10 @@ type Spec struct {
 	// custom telemetry.
 	OnBuild func(*topo.Network, *sim.Engine)
 
+	// Obs configures per-run observability (nil: metrics on, tracing
+	// off). See ObsConfig.
+	Obs *ObsConfig
+
 	// InferTracker bounds the ProxyInferring scheme's loss tracker
 	// (zero value: 4096-packet windows, 100 us reorder delay, 1024
 	// flows). InferFlushEvery drives its timer-based hole expiry.
@@ -181,6 +186,13 @@ type RunResult struct {
 	ProxyFalseNacks uint64
 
 	Events uint64
+
+	// Manifest carries the run's identity (seed, config hash) and its
+	// final metric snapshot; nil when Spec.Obs.Disable.
+	Manifest *obs.Manifest
+	// Trace holds the run's flow/queue event trace when Spec.Obs.Trace;
+	// nil otherwise. Export with WriteChromeTrace or WriteCSV.
+	Trace *obs.Tracer
 }
 
 // Result aggregates an experiment's runs.
@@ -248,6 +260,15 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 	shares := splitBytes(spec.TotalBytes, spec.Degree)
 	src := rng.New(seed)
 
+	var txSenders []*transport.Sender
+	var rxs []*transport.Receiver
+	ro := newRunObs(spec.Obs)
+	ro.wire(e, net, &txSenders, &rxs)
+	ro.watchPorts(e, units.Time(spec.MaxSimTime), map[string]*netsim.Port{
+		"recv-tor":  net.DownToRPort(recv),
+		"proxy-tor": net.DownToRPort(proxyHost),
+	})
+
 	completedFlows := 0
 	var lastDone units.Time
 	onFlowDone := func(at units.Time) {
@@ -276,7 +297,6 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 		inferGroup.Start(e, units.Time(spec.MaxSimTime))
 	}
 
-	var txSenders []*transport.Sender
 	for i, snd := range senders {
 		flow := netsim.FlowID(i + 1)
 		share := shares[i]
@@ -294,8 +314,10 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			r := transport.NewReceiver(recv, flow, snd.ID(), share, onFlowDone)
 			recv.Bind(flow, r)
 			s := transport.NewSender(snd, flow, recv.ID(), 0, share, c, nil)
+			s.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 			snd.Bind(flow, s)
 			txSenders = append(txSenders, s)
+			rxs = append(rxs, r)
 			s.Start(e)
 
 		case ProxyStreamlined:
@@ -316,8 +338,10 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			r := transport.NewReceiver(recv, flow, proxyHost.ID(), share, onFlowDone)
 			recv.Bind(flow, r)
 			s := transport.NewSender(snd, flow, proxyHost.ID(), recv.ID(), share, c, nil)
+			s.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 			snd.Bind(flow, s)
 			txSenders = append(txSenders, s)
+			rxs = append(rxs, r)
 			s.Start(e)
 
 		case ProxyInferring:
@@ -335,8 +359,10 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			r := transport.NewReceiver(recv, flow, proxyHost.ID(), share, onFlowDone)
 			recv.Bind(flow, r)
 			s := transport.NewSender(snd, flow, proxyHost.ID(), recv.ID(), share, c, nil)
+			s.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 			snd.Bind(flow, s)
 			txSenders = append(txSenders, s)
+			rxs = append(rxs, r)
 			s.Start(e)
 
 		case ProxyNaive:
@@ -366,8 +392,10 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			r := transport.NewReceiver(recv, downFlow, proxyHost.ID(), share, onFlowDone)
 			recv.Bind(downFlow, r)
 			s := transport.NewSender(snd, flow, proxyHost.ID(), 0, share, upCfg, nil)
+			s.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 			snd.Bind(flow, s)
 			txSenders = append(txSenders, s)
+			rxs = append(rxs, r)
 			relay.Start(e)
 			s.Start(e)
 
@@ -400,6 +428,8 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 	if inferGroup != nil {
 		rr.ProxyFalseNacks = inferGroup.Stats.FalseNacks
 	}
+	rr.Manifest = ro.manifest(seed, spec.fingerprintString())
+	rr.Trace = ro.tracer
 
 	if !rr.Completed {
 		return rr, fmt.Errorf("incast incomplete after %v: %d/%d flows done",
