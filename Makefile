@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race fuzz chaos figures fmt bench lint
+.PHONY: build test check race race-runner fuzz chaos figures fmt bench lint
 
 build:
 	$(GO) build ./...
@@ -21,14 +21,25 @@ lint:
 	$(GO) vet ./...
 	$(GO) test -run TestNoWallClockInVirtualTimePaths ./internal/obs/
 
-# Microbenchmarks: instrument hot-path costs (obs) and the instrumented vs
-# uninstrumented incast comparison backing the ≤5% overhead budget.
+# Microbenchmarks: instrument hot-path costs (obs), the instrumented vs
+# uninstrumented incast comparison backing the ≤5% overhead budget, the
+# pooled event-loop alloc counts (sim), and the serial-vs-parallel sweep
+# speedup of the deterministic runner.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkTracerInstant|BenchmarkSnapshot' -benchmem ./internal/obs/
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduleRun|BenchmarkTimerRearm' -benchmem ./internal/sim/
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 3x .
+	$(GO) test -run '^$$' -bench BenchmarkSweepSerialVsParallel -benchtime 1x -benchmem .
 
+# The worker pool and everything routed through it must be race-clean; the
+# full suite runs under the detector (chaos, relay, and lan tests exercise
+# real concurrency too).
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the deterministic parallel runner and its callers.
+race-runner:
+	$(GO) test -race ./internal/runner/ ./internal/workload/ .
 
 # Short fuzz pass over the attacker-facing dial-preamble parser.
 fuzz:

@@ -89,11 +89,20 @@ type (
 // 1 ms long-haul propagation.
 func DefaultTopo() TopoConfig { return topo.DefaultConfig() }
 
-// RunIncast simulates one incast experiment.
+// RunIncast simulates one incast experiment. Set IncastSpec.Parallel to fan
+// the spec's repeated runs across worker goroutines; results are merged in
+// run order, so the output is byte-identical to a serial run.
 func RunIncast(spec IncastSpec) (*IncastResult, error) { return workload.Run(spec) }
 
 // RunScenario simulates an arbitrary multi-flow workload.
 func RunScenario(sc Scenario) (*ScenarioResult, error) { return workload.RunScenario(sc) }
+
+// RunScenarios simulates independent scenarios fanned across parallel
+// workers (0 or 1: serial; negative: one worker per CPU), returning results
+// in input order, byte-identical to running each serially.
+func RunScenarios(scs []Scenario, parallel int) ([]*ScenarioResult, error) {
+	return workload.RunScenarios(scs, parallel)
+}
 
 // Comparison is the outcome of running the same incast under every scheme.
 type Comparison struct {
@@ -157,6 +166,13 @@ const (
 
 // RunChaos simulates one incast under proxy failure.
 func RunChaos(spec ChaosSpec) (*ChaosResult, error) { return workload.RunChaos(spec) }
+
+// RunChaosSeries repeats a chaos experiment runs times with derived per-run
+// seeds, fanned across parallel workers; results come back in run order,
+// byte-identical to a serial loop.
+func RunChaosSeries(spec ChaosSpec, runs, parallel int) ([]*ChaosResult, error) {
+	return workload.RunChaosSeries(spec, runs, parallel)
+}
 
 // Observability types: every run carries a Manifest (seed, config hash,
 // final metric snapshot) and, when ObsConfig.Trace is set, a Tracer whose

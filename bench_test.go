@@ -334,6 +334,32 @@ func BenchmarkScenarioMoE(b *testing.B) {
 	b.Run("proxied", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkSweepSerialVsParallel measures the deterministic runner on a
+// reduced Figure 2 (Left) sweep: the parallel=N wall-clock over parallel=1
+// is the experiment-harness speedup (≈ min(N, cells, cores)× on idle
+// hardware), while allocs/op tracks the pooled event path — outputs are
+// byte-identical across rows by construction (TestFigureTableSerialVsParallel).
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			cfg := SweepConfig{
+				Degrees:       []int{2, 4, 8},
+				Fig2LeftTotal: 8 * MB,
+				Runs:          2,
+				Seed:          1,
+				Parallel:      par,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Figure2Left(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkObsOverhead quantifies what the observability layer costs a
 // simulated incast: the registry's lazy collectors should keep the
 // always-on instrumented run within a few percent of the uninstrumented

@@ -8,6 +8,7 @@
 //	figures -fig 2l         # only Figure 2 (Left)
 //	figures -full           # paper-scale parameters (slow: many minutes)
 //	figures -summary        # only the §4.2 mean-reduction summary lines
+//	figures -parallel 4     # fan sweep cells over 4 workers; same bytes out
 package main
 
 import (
@@ -20,10 +21,11 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "1 | 2l | 2r | 3 | 4 | 5a | 5b | all")
-		full    = flag.Bool("full", false, "paper-scale parameters (5 runs, 100MB, 6 latencies)")
-		summary = flag.Bool("summary", false, "print only §4.2-style mean reductions")
-		packets = flag.Int("packets", 200_000, "samples for the CDF figures")
+		fig      = flag.String("fig", "all", "1 | 2l | 2r | 3 | 4 | 5a | 5b | all")
+		full     = flag.Bool("full", false, "paper-scale parameters (5 runs, 100MB, 6 latencies)")
+		summary  = flag.Bool("summary", false, "print only §4.2-style mean reductions")
+		packets  = flag.Int("packets", 200_000, "samples for the CDF figures")
+		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial); output is byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -31,6 +33,7 @@ func main() {
 	if *full {
 		sweep = incastproxy.PaperSweep()
 	}
+	sweep.Parallel = *parallel
 
 	runFig := func(name string) bool { return *fig == "all" || *fig == name }
 	out := os.Stdout

@@ -5,6 +5,7 @@
 //
 //	incastsim -scheme streamlined -degree 8 -size 100MB -runs 5
 //	incastsim -scheme baseline -degree 4 -size 40MB -inter-latency 10ms
+//	incastsim -runs 8 -parallel 0     # fan runs across every CPU; same output
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	incastproxy "incastproxy"
 	"incastproxy/internal/cliutil"
+	"incastproxy/internal/runner"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/topo"
 	"incastproxy/internal/trace"
@@ -27,6 +29,7 @@ func main() {
 		degree      = flag.Int("degree", 4, "number of incast senders")
 		sizeFlag    = flag.String("size", "100MB", "total incast size (e.g. 40MB, 1GB)")
 		runs        = flag.Int("runs", 5, "independent runs (avg/min/max reported)")
+		parallel    = flag.Int("parallel", 1, "worker goroutines for the independent runs (0 = one per CPU); output is byte-identical at any setting")
 		seed        = flag.Int64("seed", 1, "base random seed")
 		interLatRaw = flag.String("inter-latency", "1ms", "long-haul link propagation delay")
 		noEarly     = flag.Bool("no-early-feedback", false, "streamlined ablation: relay trimmed headers instead of NACKing")
@@ -62,6 +65,7 @@ func main() {
 			Degree:          *degree,
 			TotalBytes:      size,
 			Runs:            *runs,
+			Parallel:        runner.Parallelism(*parallel),
 			Seed:            *seed,
 			Topo:            topoCfg,
 			NoEarlyFeedback: *noEarly,

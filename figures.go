@@ -6,6 +6,8 @@ import (
 	"text/tabwriter"
 
 	"incastproxy/internal/hoststack"
+	"incastproxy/internal/rng"
+	"incastproxy/internal/runner"
 	"incastproxy/internal/stats"
 	"incastproxy/internal/units"
 	"incastproxy/internal/workload"
@@ -29,6 +31,10 @@ type FigurePoint struct {
 	// (from the run manifest), so figure rows are traceable to a
 	// reproducible configuration.
 	ConfigHash uint64
+	// Seed is the cell's base seed, derived from the sweep seed and the
+	// cell's (point, scheme) coordinates so no two cells share a random
+	// stream; the cell's repeated runs derive further from it.
+	Seed int64
 }
 
 // Reduction returns this point's relative ICT reduction versus baseline.
@@ -56,6 +62,13 @@ type SweepConfig struct {
 
 	Runs int
 	Seed int64
+
+	// Parallel fans the sweep's (point, scheme) cells across worker
+	// goroutines: 0 uses one worker per CPU (sweeps have no user hooks,
+	// so this is always safe), 1 forces serial execution, N > 1 uses N
+	// workers. Cell seeds are position-derived and results merge in cell
+	// order, so figure tables are byte-identical at any setting.
+	Parallel int
 }
 
 // PaperSweep returns §4's settings: 100 MB totals, degree 4 for the size
@@ -100,96 +113,130 @@ func QuickSweep() SweepConfig {
 // Figure2Left regenerates the degree sweep: fixed total size, varying the
 // number of senders, all three schemes.
 func Figure2Left(cfg SweepConfig) ([]FigurePoint, error) {
-	var pts []FigurePoint
+	points := make([]sweepPoint, 0, len(cfg.Degrees))
 	for _, deg := range cfg.Degrees {
-		row, err := sweepPoint(cfg, fmt.Sprintf("degree=%d", deg), float64(deg), func(sp *IncastSpec) {
-			sp.Degree = deg
-			sp.TotalBytes = cfg.Fig2LeftTotal
+		deg := deg
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("degree=%d", deg),
+			x:     float64(deg),
+			customize: func(sp *IncastSpec) {
+				sp.Degree = deg
+				sp.TotalBytes = cfg.Fig2LeftTotal
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, row...)
 	}
-	return pts, nil
+	return runSweep(cfg, points)
 }
 
 // Figure2Right regenerates the size sweep: fixed degree, varying total
 // incast size.
 func Figure2Right(cfg SweepConfig) ([]FigurePoint, error) {
-	var pts []FigurePoint
+	points := make([]sweepPoint, 0, len(cfg.Sizes))
 	for _, size := range cfg.Sizes {
 		size := size
-		row, err := sweepPoint(cfg, fmt.Sprintf("size=%v", size), float64(size), func(sp *IncastSpec) {
-			sp.Degree = cfg.Fig2RightDegree
-			sp.TotalBytes = size
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("size=%v", size),
+			x:     float64(size),
+			customize: func(sp *IncastSpec) {
+				sp.Degree = cfg.Fig2RightDegree
+				sp.TotalBytes = size
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, row...)
 	}
-	return pts, nil
+	return runSweep(cfg, points)
 }
 
 // Figure3 regenerates the latency-gap sweep: fixed degree and size,
 // varying the long-haul link latency (log-log in the paper).
 func Figure3(cfg SweepConfig) ([]FigurePoint, error) {
-	var pts []FigurePoint
+	points := make([]sweepPoint, 0, len(cfg.Latencies))
 	for _, lat := range cfg.Latencies {
 		lat := lat
-		row, err := sweepPoint(cfg, fmt.Sprintf("latency=%v", lat), lat.Microseconds(), func(sp *IncastSpec) {
-			sp.Degree = cfg.Fig3Degree
-			sp.TotalBytes = cfg.Fig3Total
-			t := DefaultTopo()
-			t.InterDelay = lat
-			sp.Topo = t
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("latency=%v", lat),
+			x:     lat.Microseconds(),
+			customize: func(sp *IncastSpec) {
+				sp.Degree = cfg.Fig3Degree
+				sp.TotalBytes = cfg.Fig3Total
+				t := DefaultTopo()
+				t.InterDelay = lat
+				sp.Topo = t
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, row...)
 	}
-	return pts, nil
+	return runSweep(cfg, points)
 }
 
-// sweepPoint runs one x-coordinate under all three schemes.
-func sweepPoint(cfg SweepConfig, label string, x float64, customize func(*IncastSpec)) ([]FigurePoint, error) {
+// sweepPoint is one x-coordinate of a figure sweep; customize stamps the
+// coordinate onto the spec.
+type sweepPoint struct {
+	label     string
+	x         float64
+	customize func(*IncastSpec)
+}
+
+// runSweep executes every (point, scheme) cell of a figure, fanning the
+// cells across the sweep's worker pool and merging results in row order
+// (points in input order, schemes within each row) so the output is
+// byte-identical however many workers ran it.
+//
+// Each cell's seed is derived from the sweep seed and the cell's (point,
+// scheme) position. Before this derivation every cell ran with the raw
+// sweep seed, so samples were fully correlated across sweep points: a
+// lucky spray pattern at degree 2 reappeared at every other degree,
+// and the reported min/max understated the true run-to-run spread.
+func runSweep(cfg SweepConfig, points []sweepPoint) ([]FigurePoint, error) {
 	runs := cfg.Runs
 	if runs <= 0 {
 		runs = 1
 	}
-	var out []FigurePoint
-	var baseAvg Duration
-	for _, s := range Schemes() {
-		sp := IncastSpec{Scheme: s, Runs: runs, Seed: cfg.Seed}
-		customize(&sp)
+	schemes := Schemes()
+	trial := func(i int) (FigurePoint, error) {
+		pt, s := points[i/len(schemes)], schemes[i%len(schemes)]
+		sp := IncastSpec{
+			Scheme: s,
+			Runs:   runs,
+			Seed:   rng.DeriveSeed(cfg.Seed, int64(i/len(schemes)), int64(s)),
+			// The cells themselves are the unit of parallelism; their
+			// inner runs stay serial so the pool is not oversubscribed.
+			Parallel: 1,
+		}
+		pt.customize(&sp)
 		res, err := workload.Run(sp)
 		if err != nil {
-			return nil, fmt.Errorf("%s %v: %w", label, s, err)
+			return FigurePoint{}, fmt.Errorf("%s %v: %w", pt.label, s, err)
 		}
 		p := FigurePoint{
-			Label:  label,
-			X:      x,
+			Label:  pt.label,
+			X:      pt.x,
 			Scheme: s,
 			Avg:    res.ICT.Avg(),
 			Min:    res.ICT.Min(),
 			Max:    res.ICT.Max(),
+			Seed:   sp.Seed,
 		}
 		if len(res.Runs) > 0 && res.Runs[0].Manifest != nil {
 			p.ConfigHash = res.Runs[0].Manifest.ConfigHash
 		}
-		if s == Baseline {
-			baseAvg = p.Avg
+		return p, nil
+	}
+	pts, err := runner.Map(cfg.Parallel, len(points)*len(schemes), trial)
+	if err != nil {
+		return nil, err
+	}
+	// Backfill each row's baseline average so reductions compute per point.
+	for row := 0; row < len(points); row++ {
+		var baseAvg Duration
+		for col, s := range schemes {
+			if s == Baseline {
+				baseAvg = pts[row*len(schemes)+col].Avg
+			}
 		}
-		p.BaselineAvg = baseAvg
-		out = append(out, p)
+		for col := range schemes {
+			pts[row*len(schemes)+col].BaselineAvg = baseAvg
+		}
 	}
-	// Backfill the baseline average on every point of the row.
-	for i := range out {
-		out[i].BaselineAvg = baseAvg
-	}
-	return out, nil
+	return pts, nil
 }
 
 // MeanReduction averages a proxy scheme's per-point reductions across a

@@ -17,6 +17,50 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(1, 2, 3) != DeriveSeed(1, 2, 3) {
+		t.Fatal("DeriveSeed must be a pure function")
+	}
+}
+
+// Distinct label paths must yield distinct seeds, including the pairs the
+// experiment harness relies on: consecutive runs, consecutive sweep points,
+// and consecutive schemes under the same base seed.
+func TestDeriveSeedDistinctness(t *testing.T) {
+	seen := make(map[int64][]int64)
+	add := func(seed int64, path ...int64) {
+		if prev, dup := seen[seed]; dup {
+			t.Fatalf("seed collision: labels %v and %v both give %d", prev, path, seed)
+		}
+		seen[seed] = path
+	}
+	for base := int64(0); base < 4; base++ {
+		add(DeriveSeed(base), base, -1)
+		for run := int64(0); run < 16; run++ {
+			add(DeriveSeed(base, run), base, run)
+			for scheme := int64(0); scheme < 3; scheme++ {
+				add(DeriveSeed(base, run, scheme), base, run, scheme)
+			}
+		}
+	}
+}
+
+// Seeds derived from adjacent bases must not produce correlated streams
+// (the failure mode of additive seed schemes like seed+run*prime).
+func TestDeriveSeedDecorrelatesAdjacentBases(t *testing.T) {
+	a := New(DeriveSeed(1, 0))
+	b := New(DeriveSeed(2, 0))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent-base derived seeds look correlated: %d/64 equal draws", same)
+	}
+}
+
 func TestSplitIndependence(t *testing.T) {
 	parent := New(7)
 	c1 := parent.Split(1)

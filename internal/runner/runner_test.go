@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsBySubmission(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 0} {
+		par := par
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			got, err := Map(par, 100, func(i int) (int, error) { return i * i, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 100 {
+				t.Fatalf("len = %d, want 100", len(got))
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapSerialAndParallelIdentical(t *testing.T) {
+	trial := func(i int) (string, error) { return fmt.Sprintf("trial-%03d", i), nil }
+	serial, err := Map(1, 37, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(8, 37, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %q vs parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapZeroTrials(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { t.Fatal("trial ran"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(4, 0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// The surfaced error must be the lowest-indexed one — the error a serial
+// loop would have returned — no matter which worker hits its trial first.
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, par := range []int{1, 4} {
+		_, err := Map(par, 16, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errLow
+			case 11:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("parallel=%d: err = %v, want %v", par, err, errLow)
+		}
+	}
+}
+
+func TestMapStopsClaimingAfterFailure(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(2, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Workers may finish trials already claimed, but must not chew
+	// through the whole batch after the failure flag is up.
+	if n := ran.Load(); n == 1000 {
+		t.Fatalf("all %d trials ran despite early failure", n)
+	}
+}
+
+func TestMapRepanicsFromTrial(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		par := par
+		func() {
+			defer func() {
+				p := recover()
+				if p != "trial 2 exploded" {
+					t.Fatalf("parallel=%d: recovered %v", par, p)
+				}
+			}()
+			Map(par, 8, func(i int) (int, error) {
+				if i == 2 {
+					panic("trial 2 exploded")
+				}
+				return i, nil
+			})
+			t.Fatalf("parallel=%d: Map returned instead of panicking", par)
+		}()
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	if got := Parallelism(3); got != 3 {
+		t.Fatalf("Parallelism(3) = %d", got)
+	}
+	if got := Parallelism(0); got < 1 {
+		t.Fatalf("Parallelism(0) = %d, want >= 1", got)
+	}
+	if got := Parallelism(-5); got < 1 {
+		t.Fatalf("Parallelism(-5) = %d, want >= 1", got)
+	}
+}

@@ -3,7 +3,13 @@
 // priority queue of timestamped events, a logical clock, and reusable timers.
 //
 // Events scheduled for the same instant run in scheduling order (FIFO),
-// which keeps runs deterministic for a given seed.
+// which keeps runs deterministic for a given seed. Event records are
+// recycled through a per-engine free list and cancelled timers are removed
+// from the heap eagerly, so the steady-state event loop allocates nothing.
+//
+// An Engine is single-threaded by design: one engine per goroutine. The
+// parallel experiment runner (internal/runner) exploits this by giving every
+// trial its own engine rather than sharing one.
 package sim
 
 import (
@@ -19,11 +25,14 @@ import (
 type Event func(*Engine)
 
 type scheduledEvent struct {
-	at     units.Time
-	seq    uint64
-	fn     Event
-	cancel *bool // non-nil when cancellable; true means skip
-	index  int
+	at  units.Time
+	seq uint64
+	fn  Event
+	// gen increments every time the record returns to the free list, so a
+	// Timer holding a stale pointer can tell its event already fired or was
+	// recycled and must not be removed again.
+	gen   uint64
+	index int // heap position; -1 once popped or removed
 }
 
 type eventHeap []*scheduledEvent
@@ -54,19 +63,28 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// initialHeapCap pre-sizes the event heap and free list: incast runs keep
+// hundreds of in-flight packet/timer events, and starting near steady state
+// avoids the early append-doubling churn on every run of a sweep.
+const initialHeapCap = 256
+
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // one with New.
 type Engine struct {
 	now       units.Time
 	seq       uint64
 	events    eventHeap
+	free      []*scheduledEvent
 	processed uint64
 	stopped   bool
 }
 
 // New returns an empty engine with the clock at zero.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{
+		events: make(eventHeap, 0, initialHeapCap),
+		free:   make([]*scheduledEvent, 0, initialHeapCap),
+	}
 }
 
 // Now returns the current simulated time.
@@ -88,14 +106,52 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events waiting to run.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// acquire takes an event record from the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (e *Engine) acquire(at units.Time, fn Event) *scheduledEvent {
+	e.seq++
+	var ev *scheduledEvent
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(scheduledEvent)
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	return ev
+}
+
+// release recycles an event record that left the heap. Clearing fn drops the
+// closure reference; bumping gen invalidates any Timer still pointing here.
+func (e *Engine) release(ev *scheduledEvent) {
+	ev.fn = nil
+	ev.gen++
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// remove deletes a still-queued event from the heap and recycles its record.
+func (e *Engine) remove(ev *scheduledEvent) {
+	heap.Remove(&e.events, ev.index)
+	e.release(ev)
+}
+
 // Schedule runs fn at the absolute time at. Scheduling in the past panics:
 // it always indicates a simulator bug.
 func (e *Engine) Schedule(at units.Time, fn Event) {
+	e.scheduleEvent(at, fn)
+}
+
+func (e *Engine) scheduleEvent(at units.Time, fn Event) *scheduledEvent {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, &scheduledEvent{at: at, seq: e.seq, fn: fn})
+	ev := e.acquire(at, fn)
+	heap.Push(&e.events, ev)
+	return ev
 }
 
 // After runs fn after delay d.
@@ -125,12 +181,13 @@ func (e *Engine) RunUntil(deadline units.Time) units.Time {
 			break
 		}
 		heap.Pop(&e.events)
-		if next.cancel != nil && *next.cancel {
-			continue
-		}
-		e.now = next.at
+		at, fn := next.at, next.fn
+		// Recycle before dispatch: fn may schedule and wants the record
+		// back, and gen is already bumped so stale timer cancels no-op.
+		e.release(next)
+		e.now = at
 		e.processed++
-		next.fn(e)
+		fn(e)
 	}
 	return e.now
 }
@@ -142,48 +199,51 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	next := heap.Pop(&e.events).(*scheduledEvent)
-	if next.cancel != nil && *next.cancel {
-		return e.Step()
-	}
-	e.now = next.at
+	at, fn := next.at, next.fn
+	e.release(next)
+	e.now = at
 	e.processed++
-	next.fn(e)
+	fn(e)
 	return true
 }
 
 // Timer is a cancellable, re-armable one-shot timer, used for transport
 // retransmission timeouts. The zero value is an unarmed timer.
 type Timer struct {
-	engine  *Engine
-	fn      Event
-	cancel  *bool
+	engine *Engine
+	fn     Event
+	// fire is the heap-scheduled callback, allocated once in NewTimer so
+	// re-arming (the transport RTO hot path) never allocates a closure.
+	fire    Event
+	ev      *scheduledEvent
+	gen     uint64
 	dueAt   units.Time
 	pending bool
 }
 
 // NewTimer returns a timer that runs fn when it fires.
 func NewTimer(e *Engine, fn Event) *Timer {
-	return &Timer{engine: e, fn: fn}
+	t := &Timer{engine: e, fn: fn}
+	t.fire = func(e *Engine) {
+		t.pending = false
+		t.ev = nil
+		t.fn(e)
+	}
+	return t
 }
 
 // Arm (re)schedules the timer to fire at the absolute time at, replacing any
-// earlier schedule.
+// earlier schedule. A deadline already in the past fires at the current time
+// (after events already queued for this instant).
 func (t *Timer) Arm(at units.Time) {
 	t.Cancel()
-	flag := new(bool)
-	t.cancel = flag
+	if at < t.engine.now {
+		at = t.engine.now
+	}
+	t.ev = t.engine.scheduleEvent(at, t.fire)
+	t.gen = t.ev.gen
 	t.dueAt = at
 	t.pending = true
-	t.engine.seq++
-	heap.Push(&t.engine.events, &scheduledEvent{
-		at:     at,
-		seq:    t.engine.seq,
-		cancel: flag,
-		fn: func(e *Engine) {
-			t.pending = false
-			t.fn(e)
-		},
-	})
 }
 
 // ArmAfter (re)schedules the timer to fire after d.
@@ -194,12 +254,13 @@ func (t *Timer) ArmAfter(d units.Duration) {
 	t.Arm(t.engine.Now().Add(d))
 }
 
-// Cancel disarms the timer if pending.
+// Cancel disarms the timer if pending, removing its event from the heap so
+// long runs with many re-armed timers do not accumulate dead entries.
 func (t *Timer) Cancel() {
-	if t.cancel != nil {
-		*t.cancel = true
-		t.cancel = nil
+	if t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0 {
+		t.engine.remove(t.ev)
 	}
+	t.ev = nil
 	t.pending = false
 }
 

@@ -48,6 +48,16 @@ func TestPercentileEdgeCases(t *testing.T) {
 		{"interp/p90", []float64{40, 10, 30, 20}, 90, 37},
 		// Exact-rank hit needs no interpolation.
 		{"exact/p50of5", []float64{1, 2, 3, 4, 5}, 50, 3},
+
+		// ±Inf p clamps like any other out-of-range p.
+		{"clamp/negInf", []float64{1, 2, 3}, math.Inf(-1), 1},
+		{"clamp/posInf", []float64{1, 2, 3}, math.Inf(1), 3},
+
+		// NaN observations are dropped at Add, so they never poison the
+		// interpolation: [NaN 10 20] behaves exactly like [10 20].
+		{"nanvalue/p50", []float64{math.NaN(), 10, 20}, 50, 15},
+		{"nanvalue/p100", []float64{10, math.NaN(), 20}, 100, 20},
+		{"allnan/p50", []float64{math.NaN(), math.NaN()}, 50, 0},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -61,6 +71,38 @@ func TestPercentileEdgeCases(t *testing.T) {
 				t.Fatalf("Percentile(%v) of %v = %v, want %v", tc.p, tc.values, got, tc.want)
 			}
 		})
+	}
+}
+
+// A NaN p reports NaN instead of silently indexing with an undefined rank
+// (int(NaN) is platform-dependent and used to reach the slice index).
+func TestPercentileNaNP(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	if got := s.Percentile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Percentile(NaN) = %v, want NaN", got)
+	}
+	var empty Sample
+	if got := empty.Percentile(math.NaN()); got != 0 {
+		t.Fatalf("empty Percentile(NaN) = %v, want 0", got)
+	}
+}
+
+// NaN observations must not perturb the sample's count or aggregates.
+func TestAddDropsNaN(t *testing.T) {
+	var s Sample
+	s.Add(math.NaN())
+	s.Add(5)
+	s.Add(math.NaN())
+	if s.N() != 1 {
+		t.Fatalf("N = %d after NaN adds, want 1", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
 	}
 }
 

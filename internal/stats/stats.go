@@ -20,8 +20,13 @@ type Sample struct {
 	sorted bool
 }
 
-// Add appends an observation.
+// Add appends an observation. NaN observations are dropped: one NaN would
+// poison every aggregate (mean, percentiles, CDF ranks) and break the sort
+// order percentile interpolation depends on.
 func (s *Sample) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	s.values = append(s.values, v)
 	s.sorted = false
 }
@@ -78,10 +83,15 @@ func (s *Sample) Stddev() float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks. It returns 0 for an empty sample.
+// interpolation between closest ranks. It returns 0 for an empty sample and
+// NaN for a NaN p; p outside [0, 100] (including ±Inf) clamps to the
+// extremes rather than extrapolating past the observed range.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.values) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	s.sort()
 	if p <= 0 {

@@ -18,6 +18,7 @@ import (
 	"incastproxy/internal/obs"
 	"incastproxy/internal/proxy"
 	"incastproxy/internal/rng"
+	"incastproxy/internal/runner"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/topo"
 	"incastproxy/internal/transport"
@@ -116,6 +117,30 @@ func (spec ChaosSpec) Validate() error {
 		return fmt.Errorf("workload: CrashAt must be positive")
 	}
 	return nil
+}
+
+// RunChaosSeries repeats the chaos experiment runs times with per-run seeds
+// derived from spec.Incast.Seed, fanned across parallel workers (0 or 1:
+// serial; negative: one worker per CPU). Every trial gets its own engine,
+// injector, and RNG; results come back in run order, byte-identical to a
+// serial loop, with the lowest-numbered failing run's error surfaced first.
+func RunChaosSeries(spec ChaosSpec, runs, parallel int) ([]*ChaosResult, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	if parallel == 0 {
+		parallel = 1
+	}
+	base := spec.withDefaults()
+	return runner.Map(parallel, runs, func(run int) (*ChaosResult, error) {
+		sp := base
+		sp.Incast.Seed = rng.DeriveSeed(base.Incast.Seed, int64(run))
+		res, err := RunChaos(sp)
+		if err != nil {
+			return nil, fmt.Errorf("chaos run %d: %w", run, err)
+		}
+		return res, nil
+	})
 }
 
 // RunChaos simulates one incast under proxy failure.

@@ -3,6 +3,8 @@ package workload
 import (
 	"bytes"
 	"testing"
+
+	"incastproxy/internal/units"
 )
 
 // The observability acceptance bar: two runs of the same seeded spec must
@@ -101,6 +103,150 @@ func TestChaosObservabilityDeterministic(t *testing.T) {
 	}
 	if !bytes.Contains(chr1, []byte(`"cat":"failover"`)) {
 		t.Errorf("trace missing failover events")
+	}
+}
+
+// The parallel-runner acceptance bar: fanning a spec's runs across workers
+// must change nothing but wall-clock time. Figure tables, manifests, metric
+// snapshots, and traces all come out byte-identical to the serial run.
+func TestParallelIncastMatchesSerial(t *testing.T) {
+	for _, scheme := range []Scheme{Baseline, ProxyStreamlined} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			spec := quickSpec(scheme)
+			spec.Runs = 4
+			spec.Obs = &ObsConfig{Trace: true}
+
+			serial := spec // Parallel 0: serial
+			parallel := spec
+			parallel.Parallel = 4
+
+			a, err := Run(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Runs) != len(b.Runs) {
+				t.Fatalf("run counts differ: %d vs %d", len(a.Runs), len(b.Runs))
+			}
+			if a.ICT.String() != b.ICT.String() {
+				t.Fatalf("ICT stats differ: %v vs %v", a.ICT.String(), b.ICT.String())
+			}
+			for i := range a.Runs {
+				ra, rb := a.Runs[i], b.Runs[i]
+				if ra.ICT != rb.ICT || ra.Events != rb.Events || ra.PktsSent != rb.PktsSent {
+					t.Fatalf("run %d differs: ict %v/%v events %d/%d", i, ra.ICT, rb.ICT, ra.Events, rb.Events)
+				}
+				var ma, mb, sa, sb, ca, cb bytes.Buffer
+				if err := ra.Manifest.WriteJSON(&ma); err != nil {
+					t.Fatal(err)
+				}
+				if err := rb.Manifest.WriteJSON(&mb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ma.Bytes(), mb.Bytes()) {
+					t.Errorf("run %d manifests differ:\n--- serial ---\n%s\n--- parallel ---\n%s", i, ma.Bytes(), mb.Bytes())
+				}
+				if err := ra.Manifest.Metrics.WriteText(&sa); err != nil {
+					t.Fatal(err)
+				}
+				if err := rb.Manifest.Metrics.WriteText(&sb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sa.Bytes(), sb.Bytes()) {
+					t.Errorf("run %d metric snapshots differ", i)
+				}
+				if err := ra.Trace.WriteChromeTrace(&ca); err != nil {
+					t.Fatal(err)
+				}
+				if err := rb.Trace.WriteChromeTrace(&cb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+					t.Errorf("run %d traces differ", i)
+				}
+			}
+		})
+	}
+}
+
+// Chaos series: per-run seeds derive from the base seed, so serial and
+// parallel execution must agree run for run — fault timelines included.
+func TestParallelChaosSeriesMatchesSerial(t *testing.T) {
+	spec := quickChaos(FailoverStandby)
+	const runs = 3
+	a, err := RunChaosSeries(spec, runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaosSeries(spec, runs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != runs || len(b) != runs {
+		t.Fatalf("lengths: %d, %d, want %d", len(a), len(b), runs)
+	}
+	seeds := make(map[int64]bool, runs)
+	for i := range a {
+		if a[i].ICT != b[i].ICT || a[i].FailedOver != b[i].FailedOver ||
+			a[i].RehomedBytes != b[i].RehomedBytes || a[i].Events != b[i].Events {
+			t.Fatalf("chaos run %d differs: %+v vs %+v", i, a[i].RunResult, b[i].RunResult)
+		}
+		if len(a[i].Timeline) != len(b[i].Timeline) {
+			t.Fatalf("chaos run %d timelines differ", i)
+		}
+		var ma, mb bytes.Buffer
+		if err := a[i].Manifest.WriteJSON(&ma); err != nil {
+			t.Fatal(err)
+		}
+		if err := b[i].Manifest.WriteJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ma.Bytes(), mb.Bytes()) {
+			t.Errorf("chaos run %d manifests differ", i)
+		}
+		seeds[a[i].Manifest.Seed] = true
+	}
+	if len(seeds) != runs {
+		t.Fatalf("chaos series reused seeds: %d distinct of %d runs", len(seeds), runs)
+	}
+}
+
+// Scenario batches: RunScenarios must return results in input order with
+// per-flow completions identical to serial execution.
+func TestParallelScenariosMatchSerial(t *testing.T) {
+	mk := func(seed int64) Scenario {
+		return Scenario{
+			Seed: seed,
+			Flows: []FlowSpec{
+				{ID: 1, Src: HostRef{DC: 0, Host: 0}, Dst: HostRef{DC: 1, Host: 0}, Bytes: 2 * units.MB},
+				{ID: 2, Src: HostRef{DC: 0, Host: 1}, Dst: HostRef{DC: 1, Host: 0}, Bytes: 2 * units.MB,
+					Via: &ProxyRef{Scheme: ProxyStreamlined, At: HostRef{DC: 0, Host: 63}}},
+			},
+		}
+	}
+	scs := []Scenario{mk(1), mk(2), mk(3)}
+	a, err := RunScenarios(scs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenarios(scs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Makespan != b[i].Makespan || a[i].Events != b[i].Events {
+			t.Fatalf("scenario %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		for id, d := range a[i].Done {
+			if b[i].Done[id] != d {
+				t.Fatalf("scenario %d flow %d: %v vs %v", i, id, d, b[i].Done[id])
+			}
+		}
 	}
 }
 

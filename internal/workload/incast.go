@@ -17,6 +17,7 @@ import (
 	"incastproxy/internal/obs"
 	"incastproxy/internal/proxy"
 	"incastproxy/internal/rng"
+	"incastproxy/internal/runner"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/stats"
 	"incastproxy/internal/topo"
@@ -75,6 +76,15 @@ type Spec struct {
 	// 5 and reports avg/min/max.
 	Runs int
 	Seed int64
+
+	// Parallel fans the Runs across worker goroutines: 0 or 1 runs
+	// serially (the zero-value default — OnBuild hooks need not be
+	// goroutine-safe), N > 1 uses min(N, Runs) workers, and negative
+	// values use one worker per CPU. Each trial builds its own engine,
+	// registry, and RNG, and results merge in run order, so the output
+	// is byte-identical to a serial run. With Parallel > 1 an OnBuild
+	// hook runs concurrently and must be goroutine-safe.
+	Parallel int
 
 	// Topo overrides the fabric (zero value: the §4.1 default). The
 	// runner forces TrimDC[0] on for the streamlined scheme.
@@ -203,20 +213,31 @@ type Result struct {
 }
 
 // Run executes the experiment: Spec.Runs independent simulations with
-// derived seeds. It returns an error if the spec is invalid or any run
-// fails to complete within MaxSimTime.
+// seeds derived per run via rng.DeriveSeed, fanned across Spec.Parallel
+// workers. It returns an error if the spec is invalid or any run fails to
+// complete within MaxSimTime; with several failing runs the error reported
+// is the lowest-numbered one, exactly as a serial loop would surface it.
 func Run(spec Spec) (*Result, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Spec: spec}
-	for run := 0; run < spec.Runs; run++ {
-		rr, err := runOnce(spec, spec.Seed+int64(run)*7919)
+	par := spec.Parallel
+	if par == 0 {
+		par = 1
+	}
+	runs, err := runner.Map(par, spec.Runs, func(run int) (RunResult, error) {
+		rr, err := runOnce(spec, rng.DeriveSeed(spec.Seed, int64(run)))
 		if err != nil {
-			return nil, fmt.Errorf("run %d: %w", run, err)
+			return RunResult{}, fmt.Errorf("run %d: %w", run, err)
 		}
-		res.Runs = append(res.Runs, rr)
+		return rr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec, Runs: runs}
+	for _, rr := range runs {
 		res.ICT.Add(rr.ICT)
 	}
 	return res, nil

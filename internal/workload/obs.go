@@ -122,12 +122,15 @@ func (ro *runObs) manifest(seed int64, config string) *obs.Manifest {
 // observability fields are excluded (funcs print as nondeterministic
 // pointers, and turning tracing on must not change the config identity), as
 // is the seed: it rides separately on Manifest.Seed, so runs of one
-// configuration share a hash across seeds.
+// configuration share a hash across seeds. Parallel is excluded too: how
+// many workers executed the trials is an execution detail, and serial and
+// parallel runs of one spec must produce byte-identical manifests.
 func (s Spec) fingerprintString() string {
 	s.OnBuild = nil
 	s.ProxyProcDelay = nil
 	s.Obs = nil
 	s.Seed = 0
+	s.Parallel = 0
 	return fmt.Sprintf("%+v", s)
 }
 
@@ -137,5 +140,6 @@ func (spec ChaosSpec) fingerprintString() string {
 	spec.Incast.ProxyProcDelay = nil
 	spec.Incast.Obs = nil
 	spec.Incast.Seed = 0
+	spec.Incast.Parallel = 0
 	return fmt.Sprintf("%+v", spec)
 }

@@ -6,6 +6,7 @@ import (
 	"incastproxy/internal/netsim"
 	"incastproxy/internal/proxy"
 	"incastproxy/internal/rng"
+	"incastproxy/internal/runner"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/topo"
 	"incastproxy/internal/transport"
@@ -181,6 +182,24 @@ func RunScenario(sc Scenario) (*ScenarioResult, error) {
 			sc.MaxSimTime, remaining)
 	}
 	return res, nil
+}
+
+// RunScenarios simulates independent scenarios, fanned across parallel
+// workers (0 or 1: serial; negative: one worker per CPU). Each scenario
+// builds its own engine and RNG; results come back in the order of scs,
+// byte-identical to running them serially. The error surfaced on failure is
+// the lowest-indexed scenario's.
+func RunScenarios(scs []Scenario, parallel int) ([]*ScenarioResult, error) {
+	if parallel == 0 {
+		parallel = 1
+	}
+	return runner.Map(parallel, len(scs), func(i int) (*ScenarioResult, error) {
+		res, err := RunScenario(scs[i])
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		return res, nil
+	})
 }
 
 // wireFlow installs endpoints for one flow and returns its start event.
