@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race race-runner fuzz chaos figures fmt bench lint
+.PHONY: build test check race race-runner fuzz chaos figures fmt bench bench-json lint
 
 build:
 	$(GO) build ./...
@@ -15,21 +15,27 @@ check: lint
 	$(GO) test -race ./...
 
 # Static analysis plus the wall-clock ban: internal/sim, netsim, transport,
-# and obs run on virtual time only — a time.Now/time.Sleep there breaks
-# byte-identical determinism (see TestNoWallClockInVirtualTimePaths).
+# control, and obs run on virtual time only — a time.Now/time.Sleep there
+# breaks byte-identical determinism (see TestNoWallClockInVirtualTimePaths).
 lint:
 	$(GO) vet ./...
 	$(GO) test -run TestNoWallClockInVirtualTimePaths ./internal/obs/
 
-# Microbenchmarks: instrument hot-path costs (obs), the instrumented vs
-# uninstrumented incast comparison backing the ≤5% overhead budget, the
-# pooled event-loop alloc counts (sim), and the serial-vs-parallel sweep
-# speedup of the deterministic runner.
+# Microbenchmarks, one `-bench .` invocation per package so new benchmarks
+# are picked up without editing a name list here. The root package's
+# benchmarks are whole-simulation figure sweeps, so its iteration count
+# stays capped at one pass per benchmark.
+BENCH_PKGS = ./internal/obs/ ./internal/sim/ ./internal/control/ ./internal/transport/ ./internal/wire/ ./internal/hoststack/
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkTracerInstant|BenchmarkSnapshot' -benchmem ./internal/obs/
-	$(GO) test -run '^$$' -bench 'BenchmarkScheduleRun|BenchmarkTimerRearm' -benchmem ./internal/sim/
-	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 3x .
-	$(GO) test -run '^$$' -bench BenchmarkSweepSerialVsParallel -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+
+# Machine-readable benchmark record (go test -json event stream), one line
+# per event, all packages concatenated — includes the internal/control
+# estimator/detector/parser benchmarks.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -json $(BENCH_PKGS) > BENCH_control.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . >> BENCH_control.json
 
 # The worker pool and everything routed through it must be race-clean; the
 # full suite runs under the detector (chaos, relay, and lan tests exercise
@@ -41,9 +47,12 @@ race:
 race-runner:
 	$(GO) test -race ./internal/runner/ ./internal/workload/ .
 
-# Short fuzz pass over the attacker-facing dial-preamble parser.
+# Short fuzz passes over the attacker-facing dial-preamble parser and the
+# -policy threshold parser (one -fuzz target per invocation, a go tool
+# restriction).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParsePreamble -fuzztime=30s ./internal/wire/
+	$(GO) test -run=^$$ -fuzz=FuzzParseConfig -fuzztime=30s ./internal/control/
 
 # The fixed-seed proxy-failure scenarios (see EXPERIMENTS.md, "Chaos").
 chaos:

@@ -55,9 +55,13 @@ const (
 	// ProxyStreamlined routes one connection via the proxy, which NACKs
 	// trimmed packets.
 	ProxyStreamlined = workload.ProxyStreamlined
+	// SchemeAdaptive starts direct and lets the online control plane
+	// re-steer the epoch mid-flight (internal/control).
+	SchemeAdaptive = workload.SchemeAdaptive
 )
 
-// Schemes lists all three, for sweeps.
+// Schemes lists the three static schemes of §4.1, for sweeps. SchemeAdaptive
+// is compared against them separately (FigureAdaptive).
 func Schemes() []Scheme { return workload.Schemes() }
 
 // Experiment types, re-exported from the workload engine.

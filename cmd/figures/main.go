@@ -17,15 +17,17 @@ import (
 	"os"
 
 	incastproxy "incastproxy"
+	"incastproxy/internal/control"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "1 | 2l | 2r | 3 | 4 | 5a | 5b | all")
+		fig      = flag.String("fig", "all", "1 | 2l | 2r | 3 | 4 | 5a | 5b | adaptive | all")
 		full     = flag.Bool("full", false, "paper-scale parameters (5 runs, 100MB, 6 latencies)")
 		summary  = flag.Bool("summary", false, "print only §4.2-style mean reductions")
 		packets  = flag.Int("packets", 200_000, "samples for the CDF figures")
 		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial); output is byte-identical at any setting")
+		policy   = flag.String("policy", "", "adaptive controller thresholds, key=value,... applied over defaults (-fig adaptive)")
 	)
 	flag.Parse()
 
@@ -34,6 +36,13 @@ func main() {
 		sweep = incastproxy.PaperSweep()
 	}
 	sweep.Parallel = *parallel
+	if *policy != "" {
+		cc, err := control.ParseConfig(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		sweep.Policy = cc
+	}
 
 	runFig := func(name string) bool { return *fig == "all" || *fig == name }
 	out := os.Stdout
@@ -72,6 +81,19 @@ func main() {
 			incastproxy.WriteFigureTable(out, "Figure 3: ICT vs long-haul link latency (log-log in paper)", pts)
 		}
 		printReductions(out, "Figure 3", pts)
+	}
+	if runFig("adaptive") {
+		pts, err := incastproxy.FigureAdaptive(sweep)
+		if err != nil {
+			fatal(err)
+		}
+		if !*summary {
+			incastproxy.WriteFigureTable(out,
+				"Adaptive control plane: ICT vs incast size, plus cross-traffic and proxy-crash stress rows", pts)
+		}
+		fmt.Fprintf(out, "Adaptive mean reductions: static=%.2f%% adaptive=%.2f%%\n\n",
+			incastproxy.MeanReduction(pts, incastproxy.ProxyStreamlined)*100,
+			incastproxy.MeanReduction(pts, incastproxy.SchemeAdaptive)*100)
 	}
 	if runFig("4") && !*summary {
 		incastproxy.WriteCDFTable(out, "Figure 4: user-space naive proxy per-packet latency (paper p99=359.17us)",

@@ -5,6 +5,7 @@
 //
 //	incastsim -scheme streamlined -degree 8 -size 100MB -runs 5
 //	incastsim -scheme baseline -degree 4 -size 40MB -inter-latency 10ms
+//	incastsim -scheme adaptive -policy onset-depth=4MB,max-switches=1
 //	incastsim -runs 8 -parallel 0     # fan runs across every CPU; same output
 package main
 
@@ -16,6 +17,7 @@ import (
 
 	incastproxy "incastproxy"
 	"incastproxy/internal/cliutil"
+	"incastproxy/internal/control"
 	"incastproxy/internal/runner"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/topo"
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		schemeFlag  = flag.String("scheme", "all", "baseline | naive | streamlined | all")
+		schemeFlag  = flag.String("scheme", "all", "baseline | naive | streamlined | adaptive | all")
 		degree      = flag.Int("degree", 4, "number of incast senders")
 		sizeFlag    = flag.String("size", "100MB", "total incast size (e.g. 40MB, 1GB)")
 		runs        = flag.Int("runs", 5, "independent runs (avg/min/max reported)")
@@ -37,8 +39,17 @@ func main() {
 		traceJSON   = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
 		queueCSV    = flag.String("queue-csv", "", "write receiver/proxy down-ToR queue time series to this CSV file")
 		manifest    = flag.Bool("manifest", false, "print each run's manifest (seed, config hash)")
+		policyFlag  = flag.String("policy", "", "adaptive controller thresholds, key=value,... applied over defaults (scheme adaptive; see internal/control)")
 	)
 	flag.Parse()
+
+	var policy control.Config
+	if *policyFlag != "" {
+		var err error
+		if policy, err = control.ParseConfig(*policyFlag); err != nil {
+			fatal(err)
+		}
+	}
 
 	size, err := cliutil.ParseSize(*sizeFlag)
 	if err != nil {
@@ -70,6 +81,9 @@ func main() {
 			Topo:            topoCfg,
 			NoEarlyFeedback: *noEarly,
 			IWScale:         *iwScale,
+		}
+		if s == incastproxy.SchemeAdaptive {
+			spec.Control = policy
 		}
 		if *traceJSON != "" {
 			spec.Runs = 1 // one trace per scheme
@@ -103,6 +117,10 @@ func main() {
 		fmt.Printf("\n  timeouts=%d retx=%d nacks=%d  rxToR(max=%v drops=%d)  pxToR(max=%v trims=%d)\n",
 			rr.Timeouts, rr.Retransmits, rr.Nacks,
 			rr.ReceiverToRMaxQueue, rr.ReceiverToRDrops, rr.ProxyToRMaxQueue, rr.ProxyToRTrims)
+		if s == incastproxy.SchemeAdaptive {
+			fmt.Printf("  route=%s onsets=%d rehomed(flows=%d bytes=%v) kept-direct=%d steers=%v\n",
+				rr.FinalRoute, rr.Onsets, rr.RehomedFlows, rr.RehomedBytes, rr.KeptDirect, rr.Steers)
+		}
 		if *manifest && rr.Manifest != nil {
 			fmt.Printf("  %s\n", rr.Manifest)
 		}
@@ -154,8 +172,10 @@ func parseSchemes(s string) ([]incastproxy.Scheme, error) {
 		return []incastproxy.Scheme{incastproxy.ProxyNaive}, nil
 	case "streamlined":
 		return []incastproxy.Scheme{incastproxy.ProxyStreamlined}, nil
+	case "adaptive":
+		return []incastproxy.Scheme{incastproxy.SchemeAdaptive}, nil
 	case "all":
-		return incastproxy.Schemes(), nil
+		return append(incastproxy.Schemes(), incastproxy.SchemeAdaptive), nil
 	default:
 		return nil, fmt.Errorf("unknown scheme %q", s)
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"incastproxy/internal/control"
 	"incastproxy/internal/hoststack"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/runner"
@@ -62,6 +63,11 @@ type SweepConfig struct {
 
 	Runs int
 	Seed int64
+
+	// Policy supplies the adaptive cells' controller thresholds for
+	// FigureAdaptive (zero value: control.DefaultConfig, retuned to the
+	// cell's topology by the workload). Static cells ignore it.
+	Policy control.Config
 
 	// Parallel fans the sweep's (point, scheme) cells across worker
 	// goroutines: 0 uses one worker per CPU (sweeps have no user hooks,
@@ -167,6 +173,54 @@ func Figure3(cfg SweepConfig) ([]FigurePoint, error) {
 	return runSweep(cfg, points)
 }
 
+// FigureAdaptive compares the adaptive control plane against both static
+// choices: the Figure 2 (Right) size axis (where the right answer flips
+// from direct to proxy partway along), then two stress rows at the sweep's
+// Fig3Total size — bursty cross traffic parked on the proxy ToR (staying
+// direct is right) and a proxy crash mid-epoch (failing over is right).
+// Static schemes run each row unchanged, so every cell answers "what would
+// this policy have cost here".
+func FigureAdaptive(cfg SweepConfig) ([]FigurePoint, error) {
+	points := make([]sweepPoint, 0, len(cfg.Sizes)+2)
+	for _, size := range cfg.Sizes {
+		size := size
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("size=%v", size),
+			x:     float64(size),
+			customize: func(sp *IncastSpec) {
+				sp.Degree = cfg.Fig2RightDegree
+				sp.TotalBytes = size
+				sp.Control = cfg.Policy
+			},
+		})
+	}
+	points = append(points, sweepPoint{
+		label: fmt.Sprintf("size=%v+cross", cfg.Fig3Total),
+		x:     float64(cfg.Fig3Total),
+		customize: func(sp *IncastSpec) {
+			sp.Degree = cfg.Fig2RightDegree
+			sp.TotalBytes = cfg.Fig3Total
+			sp.Control = cfg.Policy
+			sp.CrossTraffic = workload.CrossTrafficSpec{Flows: 2, Bytes: 40 * MB}
+			sp.IncastDelay = 2 * units.Millisecond
+		},
+	})
+	points = append(points, sweepPoint{
+		label: fmt.Sprintf("size=%v+crash", cfg.Fig3Total),
+		x:     float64(cfg.Fig3Total),
+		customize: func(sp *IncastSpec) {
+			sp.Degree = cfg.Fig2RightDegree
+			sp.TotalBytes = cfg.Fig3Total
+			sp.Control = cfg.Policy
+			sp.ProxyCrashAt = units.Millisecond
+			sp.ProxyRestartAfter = 50 * units.Millisecond
+			sp.MaxSimTime = 2 * units.Second
+		},
+	})
+	return runSweepSchemes(cfg, points,
+		[]Scheme{Baseline, ProxyStreamlined, SchemeAdaptive})
+}
+
 // sweepPoint is one x-coordinate of a figure sweep; customize stamps the
 // coordinate onto the spec.
 type sweepPoint struct {
@@ -186,11 +240,14 @@ type sweepPoint struct {
 // lucky spray pattern at degree 2 reappeared at every other degree,
 // and the reported min/max understated the true run-to-run spread.
 func runSweep(cfg SweepConfig, points []sweepPoint) ([]FigurePoint, error) {
+	return runSweepSchemes(cfg, points, Schemes())
+}
+
+func runSweepSchemes(cfg SweepConfig, points []sweepPoint, schemes []Scheme) ([]FigurePoint, error) {
 	runs := cfg.Runs
 	if runs <= 0 {
 		runs = 1
 	}
-	schemes := Schemes()
 	trial := func(i int) (FigurePoint, error) {
 		pt, s := points[i/len(schemes)], schemes[i%len(schemes)]
 		sp := IncastSpec{

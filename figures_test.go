@@ -2,6 +2,7 @@ package incastproxy
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -92,5 +93,42 @@ func TestSweepBaselineBackfill(t *testing.T) {
 			t.Fatalf("point %s/%v: BaselineAvg %v, want row baseline %v",
 				p.Label, p.Scheme, p.BaselineAvg, byLabel[p.Label])
 		}
+	}
+}
+
+// FigureAdaptive's table must carry all three compared schemes on every row
+// — including the stress rows — with baselines backfilled, and the crash row
+// must show the adaptive policy's failover beating the static scheme pinned
+// behind the dead proxy.
+func TestFigureAdaptiveComparesPolicies(t *testing.T) {
+	cfg := testSweep()
+	cfg.Sizes = []ByteSize{8 * MB}
+	cfg.Fig2RightDegree = 4
+	cfg.Fig3Total = 24 * MB
+	cfg.Fig3Degree = 4
+	cfg.Runs = 1
+	cfg.Parallel = 0
+	pts, err := FigureAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const schemesPerRow = 3
+	if len(pts) != 3*schemesPerRow { // one size + cross row + crash row
+		t.Fatalf("got %d points, want %d", len(pts), 3*schemesPerRow)
+	}
+	byCell := map[string]Duration{}
+	for _, p := range pts {
+		if p.BaselineAvg <= 0 {
+			t.Errorf("%s %v: baseline not backfilled", p.Label, p.Scheme)
+		}
+		byCell[p.Label+"/"+p.Scheme.String()] = p.Avg
+	}
+	crash := fmt.Sprintf("size=%v+crash", cfg.Fig3Total)
+	ad, st := byCell[crash+"/adaptive"], byCell[crash+"/proxy-streamlined"]
+	if ad == 0 || st == 0 {
+		t.Fatalf("crash row incomplete: %v", byCell)
+	}
+	if ad >= st {
+		t.Errorf("crash row: adaptive %v should beat static %v via failover", ad, st)
 	}
 }

@@ -1,0 +1,240 @@
+package control
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"incastproxy/internal/cliutil"
+	"incastproxy/internal/units"
+)
+
+// Config holds every controller threshold. The zero value is not usable;
+// start from DefaultConfig (or ParseConfig, which applies overrides on top
+// of the defaults — the -policy flag's format).
+type Config struct {
+	// SamplePeriod is the controller tick: every period it samples the
+	// watched queues, steps the detector, and evaluates the policy.
+	SamplePeriod units.Duration
+	// HalfLife smooths the queue signals (depth EWMA, mark/trim/drop
+	// rates).
+	HalfLife units.Duration
+
+	// OnsetDepth / OnsetMarkRate / DecayDepth / MinDwell parameterize the
+	// incast detector (see DetectorConfig). OnsetMarkRate <= 0 disables the
+	// mark-rate arm: with DCTCP-style marking thresholds far below the buffer
+	// budget, any multi-megabyte burst sustains marking while it lands, so a
+	// mark-rate onset would fire on epochs that comfortably fit the buffer.
+	OnsetDepth    units.ByteSize
+	OnsetMarkRate float64
+	DecayDepth    units.ByteSize
+	MinDwell      units.Duration
+
+	// BusyMarkRate is the sustained ECN mark rate (marks/sec) at the
+	// proxy-side bottleneck above which the proxy path counts as busy with
+	// competing traffic and is not worth steering onto. Marking is the right
+	// busyness signal there: ECN-governed cross traffic keeps the queue
+	// shallow, so a depth threshold alone never sees the contention.
+	// <= 0 disables the arm.
+	BusyMarkRate float64
+
+	// OverflowBytes is the receiver-side buffer budget used for
+	// notification-driven onset: when flows registered with the
+	// controller announce more aggregate bytes than this, the first
+	// window alone must overflow the bottleneck queue, and the controller
+	// may steer before the queue ever shows it. 0 disables the arm
+	// (callers usually set it to the receiver ToR queue capacity).
+	OverflowBytes units.ByteSize
+
+	// MaxSwitches caps re-steers per epoch; together with MinDwell it
+	// bounds flapping.
+	MaxSwitches int
+
+	// ProbeEvery / ProbeTimeout drive the in-sim path probers; a probe
+	// unanswered for ProbeTimeout counts as lost.
+	ProbeEvery   units.Duration
+	ProbeTimeout units.Duration
+	// ProbeLoss is the smoothed probe-loss fraction above which a path is
+	// considered down.
+	ProbeLoss float64
+	// ExcessLimit is the probe queueing-delay excess (RTT over baseline)
+	// above which a path is considered congested.
+	ExcessLimit units.Duration
+
+	// Hysteresis is the required relative advantage before steering onto
+	// a path when both candidates carry live estimates (>= 1; 1 disables).
+	Hysteresis float64
+
+	// SafeDepthFrac bounds suffix-mode re-homing: in-flight bytes plus
+	// current queue depth must stay under this fraction of OverflowBytes
+	// for the un-sent-suffix re-steer to be safe (see workload).
+	SafeDepthFrac float64
+
+	// PaceWindow caps each adaptive flow's initial congestion window until
+	// the controller's first verdict. A flow exposes at most this many
+	// bytes to the network while the steer decision is pending, so a
+	// mid-epoch upgrade onto the proxy re-homes nearly the whole share as
+	// an un-sent suffix instead of re-transmitting it. Released (Boost to
+	// the full 1-BDP window) once the epoch is confirmed direct.
+	PaceWindow units.ByteSize
+}
+
+// DefaultConfig returns the tuned defaults for the §4.1 fabric.
+func DefaultConfig() Config {
+	return Config{
+		SamplePeriod:  20 * units.Microsecond,
+		HalfLife:      100 * units.Microsecond,
+		OnsetDepth:    2 * units.MB,
+		DecayDepth:    256 * units.KB,
+		OnsetMarkRate: 0, // depth + announcements detect receiver-side onset
+		BusyMarkRate:  200_000,
+		MinDwell:      100 * units.Microsecond,
+		OverflowBytes: 0,
+		MaxSwitches:   2,
+		ProbeEvery:    200 * units.Microsecond,
+		ProbeTimeout:  8 * units.Millisecond,
+		ProbeLoss:     0.5,
+		ExcessLimit:   500 * units.Microsecond,
+		Hysteresis:    1.2,
+		SafeDepthFrac: 0.5,
+		PaceWindow:    64 * units.KB,
+	}
+}
+
+// Validate reports threshold inconsistencies.
+func (c Config) Validate() error {
+	switch {
+	case c.SamplePeriod <= 0:
+		return fmt.Errorf("control: sample-period must be positive, got %v", c.SamplePeriod)
+	case c.HalfLife <= 0:
+		return fmt.Errorf("control: half-life must be positive, got %v", c.HalfLife)
+	case c.OnsetDepth <= 0:
+		return fmt.Errorf("control: onset-depth must be positive, got %v", c.OnsetDepth)
+	case c.DecayDepth < 0 || c.DecayDepth >= c.OnsetDepth:
+		return fmt.Errorf("control: decay-depth %v must be in [0, onset-depth %v)", c.DecayDepth, c.OnsetDepth)
+	case c.OnsetMarkRate < 0:
+		return fmt.Errorf("control: onset-mark-rate must be >= 0, got %g", c.OnsetMarkRate)
+	case c.BusyMarkRate < 0:
+		return fmt.Errorf("control: busy-mark-rate must be >= 0, got %g", c.BusyMarkRate)
+	case c.MinDwell < 0:
+		return fmt.Errorf("control: min-dwell must be >= 0, got %v", c.MinDwell)
+	case c.OverflowBytes < 0:
+		return fmt.Errorf("control: overflow-bytes must be >= 0, got %v", c.OverflowBytes)
+	case c.MaxSwitches < 0:
+		return fmt.Errorf("control: max-switches must be >= 0, got %d", c.MaxSwitches)
+	case c.ProbeEvery <= 0:
+		return fmt.Errorf("control: probe-every must be positive, got %v", c.ProbeEvery)
+	case c.ProbeTimeout <= 0:
+		return fmt.Errorf("control: probe-timeout must be positive, got %v", c.ProbeTimeout)
+	case c.ProbeLoss <= 0 || c.ProbeLoss > 1:
+		return fmt.Errorf("control: probe-loss must be in (0, 1], got %g", c.ProbeLoss)
+	case c.ExcessLimit <= 0:
+		return fmt.Errorf("control: excess-limit must be positive, got %v", c.ExcessLimit)
+	case c.Hysteresis < 1:
+		return fmt.Errorf("control: hysteresis must be >= 1, got %g", c.Hysteresis)
+	case c.SafeDepthFrac <= 0 || c.SafeDepthFrac > 1:
+		return fmt.Errorf("control: safe-depth-frac must be in (0, 1], got %g", c.SafeDepthFrac)
+	case c.PaceWindow <= 0:
+		return fmt.Errorf("control: pace-window must be positive, got %v", c.PaceWindow)
+	}
+	return nil
+}
+
+// detectorConfig projects the controller thresholds onto the detector.
+func (c Config) detectorConfig() DetectorConfig {
+	return DetectorConfig{
+		OnsetDepth:    c.OnsetDepth,
+		OnsetMarkRate: c.OnsetMarkRate,
+		DecayDepth:    c.DecayDepth,
+		MinDwell:      c.MinDwell,
+	}
+}
+
+// String renders the config in the same key=value,... form ParseConfig
+// accepts, in fixed key order, so configs round-trip and fingerprint
+// deterministically.
+func (c Config) String() string {
+	return fmt.Sprintf("sample-period=%v,half-life=%v,onset-depth=%d,decay-depth=%d,"+
+		"onset-mark-rate=%g,busy-mark-rate=%g,min-dwell=%v,overflow-bytes=%d,max-switches=%d,"+
+		"probe-every=%v,probe-timeout=%v,probe-loss=%g,excess-limit=%v,"+
+		"hysteresis=%g,safe-depth-frac=%g,pace-window=%d",
+		c.SamplePeriod, c.HalfLife, int64(c.OnsetDepth), int64(c.DecayDepth),
+		c.OnsetMarkRate, c.BusyMarkRate, c.MinDwell, int64(c.OverflowBytes), c.MaxSwitches,
+		c.ProbeEvery, c.ProbeTimeout, c.ProbeLoss, c.ExcessLimit,
+		c.Hysteresis, c.SafeDepthFrac, int64(c.PaceWindow))
+}
+
+// ParseConfig parses a comma-separated key=value threshold list (the
+// -policy flag's argument) applied over DefaultConfig. An empty string
+// returns the defaults. Durations take cliutil forms ("50us", "2ms"), sizes
+// take "64KB"/"1MB"/plain bytes, rates and fractions are plain floats.
+//
+//	adaptive:onset-depth=4MB,min-dwell=200us,max-switches=1
+//
+// (an optional leading "adaptive:" or "static:" policy name is stripped; it
+// is the caller's job to pick the policy, this parses only the thresholds).
+func ParseConfig(s string) (Config, error) {
+	c := DefaultConfig()
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[i+1:]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return c, fmt.Errorf("control: %q is not key=value", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "sample-period":
+			c.SamplePeriod, err = cliutil.ParseDuration(v)
+		case "half-life":
+			c.HalfLife, err = cliutil.ParseDuration(v)
+		case "onset-depth":
+			c.OnsetDepth, err = cliutil.ParseSize(v)
+		case "decay-depth":
+			c.DecayDepth, err = cliutil.ParseSize(v)
+		case "onset-mark-rate":
+			c.OnsetMarkRate, err = strconv.ParseFloat(v, 64)
+		case "busy-mark-rate":
+			c.BusyMarkRate, err = strconv.ParseFloat(v, 64)
+		case "min-dwell":
+			c.MinDwell, err = cliutil.ParseDuration(v)
+		case "overflow-bytes":
+			c.OverflowBytes, err = cliutil.ParseSize(v)
+		case "max-switches":
+			c.MaxSwitches, err = strconv.Atoi(v)
+		case "probe-every":
+			c.ProbeEvery, err = cliutil.ParseDuration(v)
+		case "probe-timeout":
+			c.ProbeTimeout, err = cliutil.ParseDuration(v)
+		case "probe-loss":
+			c.ProbeLoss, err = strconv.ParseFloat(v, 64)
+		case "excess-limit":
+			c.ExcessLimit, err = cliutil.ParseDuration(v)
+		case "hysteresis":
+			c.Hysteresis, err = strconv.ParseFloat(v, 64)
+		case "safe-depth-frac":
+			c.SafeDepthFrac, err = strconv.ParseFloat(v, 64)
+		case "pace-window":
+			c.PaceWindow, err = cliutil.ParseSize(v)
+		default:
+			return c, fmt.Errorf("control: unknown threshold %q", k)
+		}
+		if err != nil {
+			return c, fmt.Errorf("control: %s: %w", k, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

@@ -1,0 +1,306 @@
+package control
+
+import (
+	"fmt"
+
+	"incastproxy/internal/obs"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+// Action is a steering decision the policy engine hands to its caller.
+type Action int
+
+// The steer actions.
+const (
+	// ActNone: no action (internal).
+	ActNone Action = iota
+	// SteerProxy: upgrade the epoch from the direct path onto the proxy.
+	SteerProxy
+	// SteerDirect: downgrade from the proxy back onto the direct path
+	// (proxy dead or congested — the shortest path is what's left).
+	SteerDirect
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case SteerProxy:
+		return "steer-proxy"
+	case SteerDirect:
+		return "steer-direct"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Route is where the epoch's traffic is currently steered.
+type Route int
+
+// The routes.
+const (
+	RouteDirect Route = iota
+	RouteProxy
+)
+
+func (r Route) String() string {
+	if r == RouteProxy {
+		return "proxy"
+	}
+	return "direct"
+}
+
+// Steer records one executed re-steer for decision-metric assertions.
+type Steer struct {
+	At     units.Time
+	Action Action
+	Reason string
+}
+
+// Controller is the per-epoch policy engine. It ticks on virtual time,
+// samples its queue signals, steps the incast detector, and — behind
+// hysteresis (MinDwell, MaxSwitches, path-advantage ratio) — asks its
+// caller to re-steer via the OnSteer callback. The caller owns the actual
+// re-homing; the controller owns when and which way.
+type Controller struct {
+	cfg Config
+	det *Detector
+
+	recvSig  *QueueSignal // receiver-side bottleneck (direct path)
+	proxySig *QueueSignal // proxy-side bottleneck (proxy path)
+
+	direct *PathEstimator
+	proxy  *PathEstimator
+
+	route     Route
+	switches  int
+	announced units.ByteSize
+	flows     int
+
+	onSteer func(e *sim.Engine, a Action, reason string) bool
+	steers  []Steer
+	until   units.Time
+	started bool
+
+	lastSteerAt units.Time
+	lastAction  Action
+
+	mTicks, mOnsets, mSteers   *obs.Counter
+	mSteerProxy, mSteerDirect  *obs.Counter
+	mFlaps, mVetoed, mDeferred *obs.Counter
+	mDetectLatency             *obs.Histogram
+}
+
+// NewController builds a controller with fresh path estimators. reg may be
+// nil (metrics become no-ops).
+func NewController(cfg Config, reg *obs.Registry) *Controller {
+	c := &Controller{
+		cfg:    cfg,
+		det:    NewDetector(cfg.detectorConfig()),
+		direct: NewPathEstimator("direct", 0),
+		proxy:  NewPathEstimator("proxy", 0),
+
+		mTicks:       reg.Counter("control_ticks_total"),
+		mOnsets:      reg.Counter("control_onsets_total"),
+		mSteers:      reg.Counter("control_steers_total"),
+		mSteerProxy:  reg.Counter("control_steer_proxy_total"),
+		mSteerDirect: reg.Counter("control_steer_direct_total"),
+		mFlaps:       reg.Counter("control_flaps_total"),
+		mVetoed:      reg.Counter("control_steer_vetoed_total"),
+		mDeferred:    reg.Counter("control_steer_deferred_total"),
+		mDetectLatency: reg.Histogram("control_detection_latency_us",
+			obs.DefaultDurationBucketsMicros()),
+	}
+	if reg != nil {
+		reg.GaugeFunc("control_route", func() int64 { return int64(c.route) })
+		reg.GaugeFunc("control_switches", func() int64 { return int64(c.switches) })
+		reg.CounterFunc("control_decays_total", func() uint64 { return c.det.Decays() })
+	}
+	return c
+}
+
+// WatchReceiverQueue taps the receiver-side bottleneck queue (the direct
+// path's congestion point). Call before Start.
+func (c *Controller) WatchReceiverQueue(sig *QueueSignal) { c.recvSig = sig }
+
+// WatchProxyQueue taps the proxy-side bottleneck queue. Call before Start.
+func (c *Controller) WatchProxyQueue(sig *QueueSignal) { c.proxySig = sig }
+
+// DirectEstimator returns the direct path's quality estimator (feed it
+// probes and FCTs).
+func (c *Controller) DirectEstimator() *PathEstimator { return c.direct }
+
+// ProxyEstimator returns the proxy path's quality estimator.
+func (c *Controller) ProxyEstimator() *PathEstimator { return c.proxy }
+
+// OnSteer installs the re-steer callback. The callback returns whether it
+// actually moved anything; a false return does not consume a switch and the
+// controller may retry on a later tick.
+func (c *Controller) OnSteer(fn func(e *sim.Engine, a Action, reason string) bool) {
+	c.onSteer = fn
+}
+
+// FlowStarted registers one announced flow of the epoch (the Pulser-style
+// explicit notification: a sender declaring it is about to push bytes at the
+// shared receiver). The controller aggregates announcements online; when the
+// total exceeds Config.OverflowBytes the first-window burst cannot fit the
+// receiver-side buffer and onset is declared without waiting for the queue
+// to prove it — the 2 ms it takes the burst to reach the remote ToR is
+// exactly the budget the early steer wins back.
+func (c *Controller) FlowStarted(bytes units.ByteSize) {
+	c.announced += bytes
+	c.flows++
+}
+
+// FlowFinished feeds one completed-flow FCT sample into the estimator of
+// the path it ran on.
+func (c *Controller) FlowFinished(fct units.Duration, viaProxy bool) {
+	if viaProxy {
+		c.proxy.ObserveFCT(fct)
+	} else {
+		c.direct.ObserveFCT(fct)
+	}
+}
+
+// Route returns where the epoch is currently steered.
+func (c *Controller) Route() Route { return c.route }
+
+// Switches returns how many re-steers have executed.
+func (c *Controller) Switches() int { return c.switches }
+
+// Steers returns the executed decisions, in order.
+func (c *Controller) Steers() []Steer { return c.steers }
+
+// Detector exposes the onset/decay state machine (read-only use).
+func (c *Controller) Detector() *Detector { return c.det }
+
+// Start begins the tick loop; until bounds it in virtual time.
+func (c *Controller) Start(e *sim.Engine, until units.Time) {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.until = until
+	e.Schedule(e.Now().Add(c.cfg.SamplePeriod), c.tick)
+}
+
+func (c *Controller) tick(e *sim.Engine) {
+	now := e.Now()
+	c.mTicks.Inc()
+	if c.recvSig != nil {
+		c.recvSig.Sample(now)
+	}
+	if c.proxySig != nil {
+		c.proxySig.Sample(now)
+	}
+	if c.recvSig != nil && c.det.Step(now, c.recvSig) && c.det.Phase() == Incast {
+		c.mOnsets.Inc()
+	}
+	c.evaluate(e)
+	if next := now.Add(c.cfg.SamplePeriod); next <= c.until {
+		e.Schedule(next, c.tick)
+	}
+}
+
+// evaluate runs one policy step.
+func (c *Controller) evaluate(e *sim.Engine) {
+	now := e.Now()
+	switch c.route {
+	case RouteDirect:
+		incast := c.det.Phase() == Incast
+		reason := "queue-onset"
+		if !incast && c.cfg.OverflowBytes > 0 && c.announced > c.cfg.OverflowBytes {
+			if c.det.ForceOnset(now) {
+				c.mOnsets.Inc()
+			}
+			incast = true
+			reason = "announced-overflow"
+		}
+		if !incast {
+			return
+		}
+		if c.switches >= c.cfg.MaxSwitches {
+			return
+		}
+		if !c.proxyUsable() {
+			c.mDeferred.Inc()
+			return
+		}
+		c.steer(e, SteerProxy, reason)
+	case RouteProxy:
+		if c.switches >= c.cfg.MaxSwitches {
+			return
+		}
+		// Once the epoch is on the proxy, the proxy-side bottleneck is
+		// *supposed* to be deep: trim+NACK keeps the path productive while
+		// the queue drains at line rate, and our own probes queue behind our
+		// own payload. Congestion and excess therefore stop meaning
+		// "degraded" here — only losing the proxy itself (probe loss past
+		// the down threshold) justifies dumping the epoch back onto the
+		// path it was steered off of.
+		if c.proxy.Healthy(c.cfg.ProbeLoss) {
+			return
+		}
+		c.steer(e, SteerDirect, "proxy-degraded")
+	}
+}
+
+// proxyUsable decides whether the proxy path is worth steering onto: probe
+// loss below the down threshold, queueing-delay excess below the congestion
+// limit, the proxy-side bottleneck neither deep nor sustaining contention
+// marking, and — when both paths carry live probe estimates — the proxy not
+// worse than the direct path by more than the hysteresis factor. It gates
+// the upgrade only; see evaluate for the (liveness-only) downgrade rule.
+func (c *Controller) proxyUsable() bool {
+	if !c.proxy.Healthy(c.cfg.ProbeLoss) {
+		return false
+	}
+	if c.proxy.Excess() > c.cfg.ExcessLimit {
+		return false
+	}
+	if c.proxySig != nil && c.proxySig.Congested(c.cfg.OnsetDepth, c.cfg.BusyMarkRate) {
+		return false
+	}
+	if c.proxy.RTTSamples() > 0 && c.direct.RTTSamples() > 0 {
+		pe, de := c.proxy.Excess(), c.direct.Excess()
+		if float64(pe) > float64(de)*c.cfg.Hysteresis && pe > c.cfg.ExcessLimit/2 {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Controller) steer(e *sim.Engine, a Action, reason string) {
+	now := e.Now()
+	if c.lastSteerAt != 0 && now.Sub(c.lastSteerAt) < c.cfg.MinDwell {
+		return
+	}
+	acted := true
+	if c.onSteer != nil {
+		acted = c.onSteer(e, a, reason)
+	}
+	if !acted {
+		c.mVetoed.Inc()
+		return
+	}
+	c.switches++
+	c.steers = append(c.steers, Steer{At: now, Action: a, Reason: reason})
+	c.mSteers.Inc()
+	switch a {
+	case SteerProxy:
+		c.route = RouteProxy
+		c.mSteerProxy.Inc()
+		if oa := c.det.OnsetAt(); oa != 0 && now >= oa {
+			c.mDetectLatency.Observe(int64(now.Sub(oa) / units.Microsecond))
+		}
+	case SteerDirect:
+		c.route = RouteDirect
+		c.mSteerDirect.Inc()
+	}
+	if c.lastAction != ActNone && c.lastAction != a &&
+		now.Sub(c.lastSteerAt) < 10*c.cfg.MinDwell {
+		c.mFlaps.Inc()
+	}
+	c.lastSteerAt, c.lastAction = now, a
+}

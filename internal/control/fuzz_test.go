@@ -1,0 +1,38 @@
+package control
+
+import (
+	"testing"
+)
+
+// FuzzParseConfig hammers the -policy threshold parser: arbitrary input must
+// never panic, every accepted config must validate, and the canonical String
+// form must be a fixed point (parse → print → parse yields the same config).
+func FuzzParseConfig(f *testing.F) {
+	f.Add("")
+	f.Add("adaptive:onset-depth=4MB,min-dwell=200us")
+	f.Add("static:")
+	f.Add(DefaultConfig().String())
+	f.Add("onset-depth=2MB,decay-depth=1MB,onset-mark-rate=1e5")
+	f.Add("probe-loss=0.5,hysteresis=1.0,safe-depth-frac=1")
+	f.Add("sample-period=1ps,half-life=1ps")
+	f.Add("max-switches=0,overflow-bytes=0")
+	f.Add("onset-depth=1e309MB")
+	f.Add("min-dwell=\x00us")
+	f.Add(",,,=,=,")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted config fails validation: %v (input %q)", verr, s)
+		}
+		rt, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v (input %q)", c.String(), err, s)
+		}
+		if rt.String() != c.String() {
+			t.Fatalf("canonical form not a fixed point:\n in: %s\nout: %s", c.String(), rt.String())
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package control
+
+import (
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/units"
+)
+
+// QueueSignal is the per-queue signal tap: sampled on the controller's tick,
+// it tracks the queue's depth EWMA and the smoothed rates of ECN marks,
+// trims, and drops. The raw instantaneous depth is kept alongside the EWMA —
+// onset detection wants the fast signal, decay detection the smooth one.
+type QueueSignal struct {
+	Name string
+
+	port *netsim.Port
+
+	Depth    *EWMA // bytes
+	MarkRate *Rate // ECN marks/sec
+	TrimRate *Rate // trims/sec
+	DropRate *Rate // drops/sec
+
+	raw       units.ByteSize
+	drops     uint64
+	lastStamp units.Time
+}
+
+// WatchPort builds a signal tap over one port's egress queue. halfLife sets
+// the smoothing of all four component signals.
+func WatchPort(name string, p *netsim.Port, halfLife units.Duration) *QueueSignal {
+	return &QueueSignal{
+		Name:     name,
+		port:     p,
+		Depth:    NewEWMA(halfLife),
+		MarkRate: NewRate(halfLife),
+		TrimRate: NewRate(halfLife),
+		DropRate: NewRate(halfLife),
+	}
+}
+
+// Sample reads the port's counters at virtual time now and folds them into
+// the signal estimators.
+func (q *QueueSignal) Sample(now units.Time) {
+	st := q.port.Stats()
+	q.raw = q.port.QueuedBytes()
+	q.drops = st.Dropped
+	q.lastStamp = now
+	q.Depth.Observe(now, float64(q.raw))
+	q.MarkRate.Observe(now, st.Marked)
+	q.TrimRate.Observe(now, st.Trimmed)
+	q.DropRate.Observe(now, st.Dropped)
+}
+
+// RawDepth returns the queue occupancy at the last sample.
+func (q *QueueSignal) RawDepth() units.ByteSize { return q.raw }
+
+// Drops returns the cumulative drop count at the last sample.
+func (q *QueueSignal) Drops() uint64 { return q.drops }
+
+// Congested reports whether the queue looks congested against the given
+// thresholds: instantaneous depth at or above onsetDepth, or a smoothed mark
+// rate at or above onsetMarkRate (marks lead drops, so the mark-rate arm
+// fires earlier on paths with RED-style marking).
+func (q *QueueSignal) Congested(onsetDepth units.ByteSize, onsetMarkRate float64) bool {
+	if onsetDepth > 0 && q.raw >= onsetDepth {
+		return true
+	}
+	return onsetMarkRate > 0 && q.MarkRate.Value() >= onsetMarkRate
+}

@@ -1,0 +1,129 @@
+package orchestrator
+
+// Policy abstracts the admission-and-placement strategy an incast consults
+// before launch. The static global-view Orchestrator implements it, as do
+// the sampling decentralized variant and the telemetry-driven adaptive
+// policy below — callers pick one at startup (the -policy flag) and route
+// every incast through the same three calls without caring which strategy
+// answered.
+
+import (
+	"fmt"
+
+	"incastproxy/internal/control"
+	"incastproxy/internal/workload"
+)
+
+// Policy answers incast routing questions.
+type Policy interface {
+	// Name identifies the strategy ("static-global", "static-sampled",
+	// "adaptive").
+	Name() string
+	// Decide routes one incast. A UseProxy decision carries a live
+	// Assignment that must be Released when the incast completes.
+	Decide(req Request) (Decision, error)
+	// Release frees a placement returned in a Decision (no-op for direct
+	// decisions, whose Assignment is zero).
+	Release(id PlacementID)
+}
+
+// Name labels the global-view strategy; with it the Orchestrator itself is
+// a Policy (Decide and Release already match).
+func (o *Orchestrator) Name() string { return "static-global" }
+
+// noteDirect counts a direct verdict made on the orchestrator's behalf by a
+// wrapping policy, so orchestrator_* decision metrics stay complete no
+// matter which strategy answered.
+func (o *Orchestrator) noteDirect() {
+	o.met.decisions.Inc()
+	o.met.direct.Inc()
+}
+
+// Decentralized adapts DecideDecentralized to the Policy interface: each
+// decision samples Trials random proxies and takes the least loaded.
+type Decentralized struct {
+	O      *Orchestrator
+	Trials int
+}
+
+// Name identifies the sampling strategy.
+func (d Decentralized) Name() string { return "static-sampled" }
+
+// Decide samples d.Trials proxies and picks the least loaded.
+func (d Decentralized) Decide(req Request) (Decision, error) {
+	return d.O.DecideDecentralized(req, d.Trials)
+}
+
+// Release frees a placement made by Decide.
+func (d Decentralized) Release(id PlacementID) { d.O.Release(id) }
+
+// AdaptivePolicy is the admission-time counterpart of the in-epoch
+// controller (internal/control): before placing an incast it folds the
+// measured state of both paths — probe loss and queueing-delay excess from
+// the same PathEstimator type the simulator's probers and relay.Client's
+// health loop feed — into the closed-form ICT model, and proxies only when
+// the prediction says the proxy wins by more than the hysteresis factor.
+// A proxy path with failing probes is refused outright, before the static
+// selector ever sees the request.
+type AdaptivePolicy struct {
+	o             *Orchestrator
+	cfg           control.Config
+	direct, proxy *control.PathEstimator
+}
+
+// NewAdaptivePolicy wraps the orchestrator's static selection with
+// estimator-driven admission. cfg supplies ProbeLoss and Hysteresis (start
+// from control.DefaultConfig).
+func NewAdaptivePolicy(o *Orchestrator, cfg control.Config) *AdaptivePolicy {
+	return &AdaptivePolicy{
+		o:      o,
+		cfg:    cfg,
+		direct: control.NewPathEstimator("direct", 0),
+		proxy:  control.NewPathEstimator("proxy", 0),
+	}
+}
+
+// Name identifies the adaptive strategy.
+func (p *AdaptivePolicy) Name() string { return "adaptive" }
+
+// DirectEstimator returns the direct path's estimator; feed it probe RTTs
+// and losses.
+func (p *AdaptivePolicy) DirectEstimator() *control.PathEstimator { return p.direct }
+
+// ProxyEstimator returns the proxy path's estimator.
+func (p *AdaptivePolicy) ProxyEstimator() *control.PathEstimator { return p.proxy }
+
+// Decide routes one incast using the measured path state. The request's
+// nominal RTTs are inflated by each path's current queueing excess, so the
+// same incast that deserves a proxy on an idle fabric is kept direct while
+// the proxy side is busy — and refused the proxy entirely while its probes
+// are failing.
+func (p *AdaptivePolicy) Decide(req Request) (Decision, error) {
+	if !p.proxy.Healthy(p.cfg.ProbeLoss) {
+		p.o.noteDirect()
+		return Decision{UseProxy: false,
+			Reason: fmt.Sprintf("proxy path unhealthy (probe loss %.2f >= %.2f)",
+				p.proxy.LossRate(), p.cfg.ProbeLoss)}, nil
+	}
+	eff := req
+	eff.InterRTT += p.direct.Excess()
+	eff.IntraRTT += p.proxy.Excess()
+	direct := PredictICT(workload.Baseline, eff)
+	proxied := PredictICT(schemeOf(eff), eff)
+	if float64(direct) <= float64(proxied)*p.cfg.Hysteresis {
+		p.o.noteDirect()
+		return Decision{UseProxy: false,
+			Reason: fmt.Sprintf("predicted direct ICT %v within hysteresis %.2gx of proxied %v",
+				direct, p.cfg.Hysteresis, proxied)}, nil
+	}
+	return p.o.Decide(eff)
+}
+
+// Release frees a placement made by Decide.
+func (p *AdaptivePolicy) Release(id PlacementID) { p.o.Release(id) }
+
+var (
+	_ Policy = (*Orchestrator)(nil)
+	_ Policy = Decentralized{}
+	_ Policy = (*AdaptivePolicy)(nil)
+)

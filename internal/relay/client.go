@@ -17,7 +17,9 @@ import (
 	"sync"
 	"time"
 
+	"incastproxy/internal/control"
 	"incastproxy/internal/obs"
+	"incastproxy/internal/units"
 )
 
 // DialPolicy bounds one logical dial: how many attempts, how long each may
@@ -94,6 +96,12 @@ type ClientConfig struct {
 	// Registry, if set, registers the client's Metrics under
 	// relay_client_* names.
 	Registry *obs.Registry
+	// PathEstimator, if set, receives every health probe's outcome: the
+	// dial round-trip on success (ObserveRTT) plus a loss mark either way
+	// (ObserveLoss). It is the same estimator type the simulator's in-sim
+	// probers feed, so admission policies (orchestrator.AdaptivePolicy)
+	// consume live relay telemetry through the interface they already use.
+	PathEstimator *control.PathEstimator
 }
 
 // Client dials targets through a relay with retries, health tracking, and
@@ -184,12 +192,16 @@ func (c *Client) healthLoop() {
 			return
 		case <-t.C:
 			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+			start := time.Now()
 			conn, err := c.cfg.Dial(ctx, "tcp", c.cfg.RelayAddr)
 			cancel()
 			if err != nil {
+				c.cfg.PathEstimator.ObserveLoss(true)
 				c.setHealthy(false)
 				continue
 			}
+			c.cfg.PathEstimator.ObserveRTT(units.FromStd(time.Since(start)))
+			c.cfg.PathEstimator.ObserveLoss(false)
 			conn.Close()
 			c.setHealthy(true)
 		}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"incastproxy/internal/cliutil"
+	"incastproxy/internal/control"
 	"incastproxy/internal/lan"
 )
 
@@ -257,5 +258,46 @@ func TestDialPolicyBackoffBoundedAndJittered(t *testing.T) {
 		if d > time.Duration(float64(p.BackoffMax)*1.5) {
 			t.Fatalf("delay(%d) = %v above jittered cap", n, d)
 		}
+	}
+}
+
+func TestClientHealthProbesFeedPathEstimator(t *testing.T) {
+	f := lan.NewFabric(lan.PipeConfig{})
+	relayL, _ := f.Listen("relay")
+	srv := New(Config{Dial: f.Dialer("relay")})
+	go srv.Serve(relayL)
+
+	est := control.NewPathEstimator("relay", 0)
+	c := NewClient(ClientConfig{
+		Dial:           f.Dialer("client"),
+		RelayAddr:      "relay",
+		Policy:         fastPolicy(),
+		HealthInterval: time.Millisecond,
+		PathEstimator:  est,
+	})
+	defer c.Close()
+
+	// Successful probes accumulate RTT samples and keep the path healthy.
+	if !cliutil.WaitUntil(5*time.Second, time.Millisecond, func() bool { return est.RTTSamples() >= 3 }) {
+		t.Fatalf("estimator never fed: %v", est)
+	}
+	if est.RTT() <= 0 {
+		t.Fatalf("rtt estimate not positive: %v", est)
+	}
+	if !est.Healthy(0.5) {
+		t.Fatalf("healthy relay shows lossy path: %v", est)
+	}
+
+	// Crash the relay: probes turn into loss marks and the smoothed loss
+	// crosses the down threshold — the same signal the simulator's
+	// controller keys its failover on.
+	srv.Close()
+	relayL.Close()
+	if !cliutil.WaitUntil(5*time.Second, time.Millisecond, func() bool { return !est.Healthy(0.5) }) {
+		t.Fatalf("estimator never saw the dead relay: %v", est)
+	}
+	sent, lost := est.Probes()
+	if lost == 0 || sent <= lost {
+		t.Fatalf("probe accounting off: sent=%d lost=%d", sent, lost)
 	}
 }

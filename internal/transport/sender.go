@@ -68,6 +68,7 @@ type Sender struct {
 	cwnd     float64
 	ssthresh float64
 	inflight units.ByteSize
+	sentNew  units.ByteSize
 
 	alpha        float64
 	winAcked     units.ByteSize
@@ -88,6 +89,7 @@ type Sender struct {
 	lastTimeoutAt units.Time
 	rtoUndone     bool
 	started       bool
+	frozen        bool
 	aborted       bool
 	done          bool
 	doneAt        units.Time
@@ -241,6 +243,33 @@ func (s *Sender) RTO() units.Duration { return s.rto }
 // Inflight returns the bytes currently outstanding.
 func (s *Sender) Inflight() units.ByteSize { return s.inflight }
 
+// SentBytes returns how many distinct payload bytes have been transmitted at
+// least once (retransmissions excluded). Re-steering logic uses it to size
+// the suffix of a flow that has not yet been exposed to the network.
+func (s *Sender) SentBytes() units.ByteSize { return s.sentNew }
+
+// FreezeNew stops the sender from ever transmitting bytes it has not yet
+// sent at least once, while keeping the retransmission machinery (RTO,
+// NACK recovery) alive for the bytes already exposed. A re-steer that moves
+// a flow's un-sent suffix onto another path freezes the old leg: whatever
+// was already in flight completes on its original path — with full loss
+// recovery — and nothing new joins it.
+func (s *Sender) FreezeNew() { s.frozen = true }
+
+// Boost raises the congestion window to at least w and immediately tries to
+// send. The adaptive workload starts flows with a small paced window while
+// the controller decides where to steer the epoch; once the verdict is
+// "stay direct" the full initial window is released with Boost. No-op on
+// finished or aborted senders, and never shrinks the window.
+func (s *Sender) Boost(e *sim.Engine, w units.ByteSize) {
+	if s.done || s.aborted || float64(w) <= s.cwnd {
+		return
+	}
+	s.cwnd = float64(w)
+	s.traceWindow(e)
+	s.trySend(e)
+}
+
 // SupplyBacklog returns the bytes supplied to a streaming sender that have
 // not yet been transmitted for the first time — the naive proxy's relay
 // queue occupancy.
@@ -281,6 +310,9 @@ func (s *Sender) sizeOf(seq int64) units.ByteSize {
 // nextNewSize reports the size of the next fresh packet and whether one is
 // available to send.
 func (s *Sender) nextNewSize() (units.ByteSize, bool) {
+	if s.frozen {
+		return 0, false
+	}
 	if s.streaming {
 		idx := s.nextSeq - (s.suppliedPkts - int64(len(s.supplyQ)))
 		if idx < 0 || idx >= int64(len(s.supplyQ)) {
@@ -340,6 +372,7 @@ func (s *Sender) transmit(e *sim.Engine, seq int64, size units.ByteSize, retx bo
 		}
 		s.pktSize[seq] = size
 		s.nextSeq++
+		s.sentNew += size
 	}
 	pkt := s.host.NewPacket()
 	pkt.Flow = s.flow

@@ -42,7 +42,7 @@ func incastArtifacts(t *testing.T, spec Spec) (snapshot, manifest, chrome, csv [
 }
 
 func TestIncastObservabilityDeterministic(t *testing.T) {
-	for _, scheme := range Schemes() {
+	for _, scheme := range append(Schemes(), SchemeAdaptive) {
 		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			t.Parallel()
@@ -110,11 +110,18 @@ func TestChaosObservabilityDeterministic(t *testing.T) {
 // must change nothing but wall-clock time. Figure tables, manifests, metric
 // snapshots, and traces all come out byte-identical to the serial run.
 func TestParallelIncastMatchesSerial(t *testing.T) {
-	for _, scheme := range []Scheme{Baseline, ProxyStreamlined} {
+	for _, scheme := range []Scheme{Baseline, ProxyStreamlined, SchemeAdaptive} {
 		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			t.Parallel()
 			spec := quickSpec(scheme)
+			if scheme == SchemeAdaptive {
+				// Size the epoch past the buffer budget so every run takes
+				// the full controller path: announced-overflow onset,
+				// mid-epoch steer, suffix re-homing.
+				spec.Degree = 8
+				spec.TotalBytes = 40 * units.MB
+			}
 			spec.Runs = 4
 			spec.Obs = &ObsConfig{Trace: true}
 

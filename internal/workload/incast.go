@@ -12,6 +12,7 @@ package workload
 import (
 	"fmt"
 
+	"incastproxy/internal/control"
 	"incastproxy/internal/detect"
 	"incastproxy/internal/netsim"
 	"incastproxy/internal/obs"
@@ -44,6 +45,13 @@ const (
 	// paper's three compared schemes (Schemes()), but evaluable against
 	// them.
 	ProxyInferring
+	// SchemeAdaptive starts every flow on the direct path under a small
+	// paced window and lets an online controller (internal/control)
+	// re-steer the epoch mid-flight: announced-overflow or queue onset
+	// upgrades flows onto the streamlined proxy (un-sent suffixes
+	// re-homed, a buffer-safe subset kept direct), and a degraded proxy
+	// (probe loss, queueing excess) downgrades them back. See adaptive.go.
+	SchemeAdaptive
 )
 
 func (s Scheme) String() string {
@@ -56,6 +64,8 @@ func (s Scheme) String() string {
 		return "proxy-streamlined"
 	case ProxyInferring:
 		return "proxy-inferring"
+	case SchemeAdaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -131,6 +141,40 @@ type Spec struct {
 	// flows). InferFlushEvery drives its timer-based hole expiry.
 	InferTracker    detect.LossTrackerConfig
 	InferFlushEvery units.Duration
+
+	// Control tunes the SchemeAdaptive controller thresholds (zero
+	// SamplePeriod: control.DefaultConfig, with OverflowBytes defaulted
+	// to the receiver ToR queue capacity). Ignored by other schemes.
+	Control control.Config
+
+	// Stress knobs shared by every scheme, so adaptive-vs-static
+	// comparisons stay apples to apples.
+
+	// IncastDelay starts the incast flows that much into the run (the
+	// cross traffic and the path probers get a head start).
+	IncastDelay units.Duration
+	// CrossTraffic, when Flows > 0, runs competing intra-DC flows into
+	// the proxy host — sustained pressure on the proxy-path bottleneck.
+	CrossTraffic CrossTrafficSpec
+	// ProxyCrashAt, when > 0, crashes the proxy host at that time;
+	// ProxyRestartAfter revives it that long after (0: stays dead).
+	ProxyCrashAt      units.Duration
+	ProxyRestartAfter units.Duration
+}
+
+// CrossTrafficSpec describes background flows aimed at the proxy host from
+// otherwise-idle hosts in the sending datacenter. They congest the proxy's
+// down-ToR queue — the proxy path's bottleneck — without touching the
+// direct path, which is exactly the asymmetry an adaptive policy must see.
+type CrossTrafficSpec struct {
+	// Flows is how many background flows to run (0 disables).
+	Flows int
+	// Bytes is each flow's size.
+	Bytes units.ByteSize
+	// StartAt is the first flow's start time; Stagger separates
+	// consecutive starts.
+	StartAt units.Duration
+	Stagger units.Duration
 }
 
 func (s Spec) withDefaults() Spec {
@@ -167,6 +211,11 @@ func (s Spec) Validate() error {
 			s.Degree, hostsPerDC-1)
 	case s.TotalBytes <= 0:
 		return fmt.Errorf("workload: TotalBytes must be positive")
+	case s.CrossTraffic.Flows > 0 && s.CrossTraffic.Bytes <= 0:
+		return fmt.Errorf("workload: cross-traffic flows need Bytes > 0")
+	case s.Degree+s.CrossTraffic.Flows > hostsPerDC-1:
+		return fmt.Errorf("workload: degree %d + %d cross-traffic flows exceed %d available hosts",
+			s.Degree, s.CrossTraffic.Flows, hostsPerDC-1)
 	}
 	return nil
 }
@@ -194,6 +243,19 @@ type RunResult struct {
 	// ProxyFalseNacks counts inferring-proxy NACKs contradicted by late
 	// arrivals (reordering mistaken for loss; ProxyInferring only).
 	ProxyFalseNacks uint64
+
+	// Adaptive-scheme decision record (SchemeAdaptive only; zero
+	// otherwise). Steers lists the controller's executed re-steers,
+	// Onsets its detector onset count, FinalRoute where the epoch ended
+	// up, RehomedFlows/RehomedBytes what the steers moved, and
+	// KeptDirect how many flows a partial rebalance left on the direct
+	// path.
+	Steers       []control.Steer
+	Onsets       uint64
+	FinalRoute   string
+	RehomedFlows int
+	RehomedBytes units.ByteSize
+	KeptDirect   int
 
 	Events uint64
 
@@ -245,6 +307,9 @@ func Run(spec Spec) (*Result, error) {
 
 // runOnce builds a fresh fabric and simulates one incast.
 func runOnce(spec Spec, seed int64) (RunResult, error) {
+	if spec.Scheme == SchemeAdaptive {
+		return runAdaptive(spec, seed)
+	}
 	e := sim.New()
 	cfg := spec.Topo
 	cfg.Seed = seed
@@ -304,6 +369,15 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 		}
 	}
 
+	// start launches a sender at IncastDelay (immediately when zero).
+	start := func(s *transport.Sender) {
+		if spec.IncastDelay > 0 {
+			e.Schedule(units.Time(spec.IncastDelay), s.Start)
+		} else {
+			s.Start(e)
+		}
+	}
+
 	var inferGroup *proxy.InferringGroup
 	if spec.Scheme == ProxyInferring {
 		tc := spec.InferTracker
@@ -339,7 +413,7 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			snd.Bind(flow, s)
 			txSenders = append(txSenders, s)
 			rxs = append(rxs, r)
-			s.Start(e)
+			start(s)
 
 		case ProxyStreamlined:
 			rtt := net.PathRTT(snd, proxyHost, spec.MSS, netsim.ControlSize) +
@@ -363,7 +437,7 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			snd.Bind(flow, s)
 			txSenders = append(txSenders, s)
 			rxs = append(rxs, r)
-			s.Start(e)
+			start(s)
 
 		case ProxyInferring:
 			rtt := net.PathRTT(snd, proxyHost, spec.MSS, netsim.ControlSize) +
@@ -384,7 +458,7 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			snd.Bind(flow, s)
 			txSenders = append(txSenders, s)
 			rxs = append(rxs, r)
-			s.Start(e)
+			start(s)
 
 		case ProxyNaive:
 			downFlow := flow + netsim.FlowID(1)<<20
@@ -418,12 +492,17 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			txSenders = append(txSenders, s)
 			rxs = append(rxs, r)
 			relay.Start(e)
-			s.Start(e)
+			start(s)
 
 		default:
 			return RunResult{}, fmt.Errorf("unknown scheme %v", spec.Scheme)
 		}
 	}
+
+	if err := startCrossTraffic(e, net, spec, proxyHost, ro); err != nil {
+		return RunResult{}, err
+	}
+	injectProxyFaults(e, spec, proxyHost, seed, ro)
 
 	e.RunUntil(units.Time(spec.MaxSimTime))
 
