@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race race-runner fuzz chaos figures fmt bench bench-json lint
+.PHONY: build test check race race-runner fuzz chaos soak figures fmt bench bench-json lint
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,9 @@ check: lint
 	$(GO) test -race ./...
 
 # Static analysis plus the wall-clock ban: internal/sim, netsim, transport,
-# control, and obs run on virtual time only — a time.Now/time.Sleep there
-# breaks byte-identical determinism (see TestNoWallClockInVirtualTimePaths).
+# control, obs, and chaosnet keep their non-test sources clock-free — a
+# time.Now/time.Sleep there breaks byte-identical determinism (see
+# TestNoWallClockInVirtualTimePaths).
 lint:
 	$(GO) vet ./...
 	$(GO) test -run TestNoWallClockInVirtualTimePaths ./internal/obs/
@@ -32,10 +33,12 @@ bench:
 
 # Machine-readable benchmark record (go test -json event stream), one line
 # per event, all packages concatenated — includes the internal/control
-# estimator/detector/parser benchmarks.
+# estimator/detector/parser benchmarks. BENCH_relay.json covers the live
+# relay data plane (splice throughput, admission-shed latency).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json $(BENCH_PKGS) > BENCH_control.json
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . >> BENCH_control.json
+	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/relay/ > BENCH_relay.json
 
 # The worker pool and everything routed through it must be race-clean; the
 # full suite runs under the detector (chaos, relay, and lan tests exercise
@@ -52,11 +55,20 @@ race-runner:
 # restriction).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParsePreamble -fuzztime=30s ./internal/wire/
+	$(GO) test -run=^$$ -fuzz=FuzzHeaderRoundTrip -fuzztime=30s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzParseConfig -fuzztime=30s ./internal/control/
 
 # The fixed-seed proxy-failure scenarios (see EXPERIMENTS.md, "Chaos").
 chaos:
 	$(GO) test -run 'TestChaos|TestRunChaosThroughAPI' -v ./internal/workload/ .
+
+# Live-relay chaos soak: the real data plane (loopback TCP, production
+# Server/DialViaRelay) at 2x admission capacity through the seeded fault
+# proxy, under the race detector. Deterministic fault schedule; asserts the
+# overload contract (explicit sheds, bounded p99, clean drain, no leaks).
+# See internal/chaosnet and EXPERIMENTS.md, "Chaos soak".
+soak:
+	$(GO) test -race -run 'TestChaosSoak' -count=1 -v ./internal/chaosnet/
 
 figures:
 	$(GO) run ./cmd/figures

@@ -8,6 +8,13 @@
 //	proxybench             # all three figures at 200k packets
 //	proxybench -fig 4      # only Figure 4
 //	proxybench -points 21  # also print CDF plot points
+//	proxybench -soak       # chaos-soak the live relay path instead
+//	proxybench -soak -soak-conns 64 -soak-capacity 16 -seed 7
+//
+// -soak drives the real relay data plane (loopback TCP, the production
+// Server/DialViaRelay code) through a seeded fault-injecting proxy at 2x
+// admission capacity and verifies the overload contract: explicit sheds,
+// bounded completion times, a clean drain. Exit 1 on contract violation.
 package main
 
 import (
@@ -15,8 +22,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	incastproxy "incastproxy"
+	"incastproxy/internal/chaosnet"
 	"incastproxy/internal/obs"
 	"incastproxy/internal/stats"
 	"incastproxy/internal/units"
@@ -30,10 +39,19 @@ func main() {
 		points  = flag.Int("points", 0, "also print N evenly spaced CDF points per figure")
 		seed    = flag.Int64("seed", 1, "model random seed")
 		debugAt = flag.String("debug-addr", "", "serve /metrics + /debug/pprof on this address; keeps the process alive after the run until interrupted")
+
+		soak     = flag.Bool("soak", false, "run the live-relay chaos soak instead of the figure benchmarks")
+		soakCap  = flag.Int("soak-capacity", 8, "relay admission cap (MaxConns) for -soak")
+		soakCons = flag.Int("soak-conns", 0, "concurrent dials for -soak (default 2x capacity)")
+		soakSize = flag.Int("soak-bytes", 64<<10, "echo payload per admitted connection for -soak")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
+	if *soak {
+		runSoak(reg, *seed, *soakCap, *soakCons, *soakSize, *debugAt)
+		return
+	}
 	if *debugAt != "" {
 		_, dl, err := obs.ServeDebug(*debugAt, reg)
 		if err != nil {
@@ -81,4 +99,53 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// runSoak is the CLI face of internal/chaosnet's soak harness: the same
+// invariants `make soak` enforces in CI, runnable by hand with a chosen
+// seed and scale.
+func runSoak(reg *obs.Registry, seed int64, capacity, conns, payload int, debugAt string) {
+	if debugAt != "" {
+		_, dl, err := obs.ServeDebug(debugAt, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "proxybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("proxybench: debug endpoint on http://%v/metrics\n", dl.Addr())
+	}
+	cfg := chaosnet.SoakConfig{
+		Seed:         seed,
+		Capacity:     capacity,
+		Conns:        conns,
+		PayloadBytes: payload,
+		Faults: chaosnet.Faults{
+			DelayProb:   0.05,
+			DelayMin:    time.Millisecond,
+			DelayMax:    5 * time.Millisecond,
+			ResetProb:   0.2,
+			ResetWindow: 256 << 10,
+			StallProb:   0.1,
+			StallFor:    50 * time.Millisecond,
+			StallWindow: 64 << 10,
+			MaxChunk:    4 << 10,
+			Sleep:       time.Sleep,
+		},
+		IdleTimeout: 2 * time.Second,
+		Now:         time.Now,
+		Registry:    reg,
+	}
+	res, err := chaosnet.RunSoak(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proxybench: soak:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("soak: conns=%d admitted=%d shed=%d faulted=%d hung=%d p99=%v\n",
+		res.Conns, res.Admitted, res.Shed, res.Faulted, res.Hung, res.P99)
+	fmt.Printf("soak: server accepted=%d sheds=%d idleClosed=%d\n",
+		res.ServerAccepted, res.ServerSheds, res.IdleClosed)
+	if err := res.Check(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "proxybench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("soak: overload contract held")
 }

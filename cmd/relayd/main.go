@@ -8,9 +8,16 @@
 // Usage:
 //
 //	relayd -mode proxy  -listen :7000                      # the relay
+//	relayd -mode proxy  -listen :7000 -max-conns 512 -accept-rate 2000 \
+//	       -idle-timeout 2m -drain-timeout 30s             # hardened relay
 //	relayd -mode sink   -listen :7001                      # byte sink
 //	relayd -mode source -relay host:7000 -target host:7001 -size 100MB -conns 4
 //	relayd -mode source -target host:7001 -size 100MB      # direct (no relay)
+//
+// In proxy mode SIGTERM (or Ctrl-C) starts a graceful drain: established
+// splices finish, new dials are shed with GOING_AWAY, and the process exits
+// 0 on a clean drain or 4 if the -drain-timeout deadline hard-closed
+// stragglers. A second signal hard-stops immediately.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"incastproxy/internal/cliutil"
@@ -41,12 +49,31 @@ func main() {
 		conns   = flag.Int("conns", 4, "concurrent connections (source) — the incast degree")
 		allowed = flag.String("allow-prefix", "", "restrict relay targets to this address prefix")
 		debugAt = flag.String("debug-addr", "", "serve /metrics + /debug/pprof on this address (proxy mode)")
+
+		maxConns      = flag.Int("max-conns", 0, "max concurrent relayed connections; extra dials shed with BUSY (proxy; 0 = unlimited)")
+		acceptRate    = flag.Float64("accept-rate", 0, "admissions per second; excess shed with BUSY (proxy; 0 = unlimited)")
+		acceptBurst   = flag.Int("accept-burst", 0, "token-bucket depth for -accept-rate (proxy; default 8)")
+		idleTimeout   = flag.Duration("idle-timeout", 0, "tear down a splice idle in both directions this long (proxy; 0 = never)")
+		spliceTimeout = flag.Duration("splice-timeout", 0, "cap a splice's total lifetime (proxy; 0 = unlimited)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT (proxy)")
 	)
 	flag.Parse()
 
 	switch *mode {
 	case "proxy":
-		runProxy(*listen, *allowed, *debugAt)
+		runProxy(proxyOpts{
+			listen:      *listen,
+			allowPrefix: *allowed,
+			debugAddr:   *debugAt,
+			cfg: relay.Config{
+				MaxConns:      *maxConns,
+				AcceptRate:    *acceptRate,
+				AcceptBurst:   *acceptBurst,
+				IdleTimeout:   *idleTimeout,
+				SpliceTimeout: *spliceTimeout,
+			},
+			drainTimeout: *drainTimeout,
+		})
 	case "sink":
 		runSink(*listen)
 	case "source":
@@ -56,19 +83,33 @@ func main() {
 	}
 }
 
-func runProxy(listen, allowPrefix, debugAddr string) {
-	l, err := net.Listen("tcp", listen)
+// Exit codes (proxy mode): 0 = clean graceful drain, 1 = fatal error,
+// 4 = drain hit its deadline and in-flight splices were hard-closed.
+const exitDrainTimeout = 4
+
+type proxyOpts struct {
+	listen       string
+	allowPrefix  string
+	debugAddr    string
+	cfg          relay.Config
+	drainTimeout time.Duration
+}
+
+func runProxy(o proxyOpts) {
+	l, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := relay.Config{Registry: obs.NewRegistry()}
-	if allowPrefix != "" {
-		cfg.AllowTarget = func(addr string) bool { return strings.HasPrefix(addr, allowPrefix) }
+	cfg := o.cfg
+	cfg.Registry = obs.NewRegistry()
+	if o.allowPrefix != "" {
+		cfg.AllowTarget = func(addr string) bool { return strings.HasPrefix(addr, o.allowPrefix) }
 	}
 	srv := relay.New(cfg)
-	fmt.Printf("relayd: proxy listening on %v\n", l.Addr())
-	if debugAddr != "" {
-		_, dl, err := obs.ServeDebug(debugAddr, cfg.Registry)
+	fmt.Printf("relayd: proxy listening on %v (max-conns=%d accept-rate=%g)\n",
+		l.Addr(), cfg.MaxConns, cfg.AcceptRate)
+	if o.debugAddr != "" {
+		_, dl, err := obs.ServeDebug(o.debugAddr, cfg.Registry)
 		if err != nil {
 			fatal(err)
 		}
@@ -76,23 +117,45 @@ func runProxy(listen, allowPrefix, debugAddr string) {
 	}
 
 	go reportMetrics(srv)
+	sigSeen := make(chan struct{})
+	drained := make(chan error, 1)
 	go func() {
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
-		srv.Close()
+		ch := make(chan os.Signal, 2)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		sig := <-ch
+		fmt.Printf("relayd: %v: draining (deadline %v; signal again to hard-stop)\n", sig, o.drainTimeout)
+		close(sigSeen)
+		go func() {
+			<-ch
+			fmt.Println("relayd: second signal: hard stop")
+			srv.Close()
+			os.Exit(130)
+		}()
+		drained <- srv.Drain(o.drainTimeout)
 	}()
 	if err := srv.Serve(l); err != nil && err != net.ErrClosed {
 		fatal(err)
+	}
+	// Serve only returns ErrClosed after a signal-initiated drain (or hard
+	// stop) began; wait for the drain's verdict rather than racing it.
+	select {
+	case <-sigSeen:
+		if err := <-drained; err != nil {
+			fmt.Fprintln(os.Stderr, "relayd:", err)
+			os.Exit(exitDrainTimeout)
+		}
+		fmt.Println("relayd: drained cleanly")
+	default:
 	}
 }
 
 func reportMetrics(srv *relay.Server) {
 	for range time.Tick(5 * time.Second) {
-		fmt.Printf("relayd: conns=%d active=%d up=%dB down=%dB dialErrs=%d\n",
+		fmt.Printf("relayd: conns=%d active=%d up=%dB down=%dB dialErrs=%d shedBusy=%d shedGoAway=%d idleClosed=%d\n",
 			srv.Metrics.AcceptedConns.Load(), srv.Metrics.ActiveConns.Load(),
 			srv.Metrics.BytesUpstream.Load(), srv.Metrics.BytesDownstr.Load(),
-			srv.Metrics.DialErrors.Load())
+			srv.Metrics.DialErrors.Load(), srv.Metrics.ShedBusy.Load(),
+			srv.Metrics.ShedGoingAway.Load(), srv.Metrics.IdleClosed.Load())
 	}
 }
 

@@ -1,0 +1,198 @@
+package chaosnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"incastproxy/internal/cliutil"
+)
+
+// startEcho returns a loopback echo server's address and a closer.
+func startEcho(t *testing.T) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return l.Addr().String(), func() { l.Close() }
+}
+
+func startProxy(t *testing.T, target string, f Faults) (*Proxy, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(target, nil, f, nil)
+	go p.Serve(l)
+	return p, l.Addr().String()
+}
+
+func TestProxyTransparentWithoutFaults(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	echo, stop := startEcho(t)
+	defer stop()
+	p, addr := startProxy(t, echo, Faults{})
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := bytes.Repeat([]byte("through the chaos "), 1000)
+	go c.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("zero-fault proxy corrupted the stream")
+	}
+	if p.Metrics.Resets.Load() != 0 || p.Metrics.Stalls.Load() != 0 {
+		t.Fatal("zero-fault proxy injected faults")
+	}
+	p.Close()
+}
+
+func TestProxyPartialWritesPreserveBytes(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	echo, stop := startEcho(t)
+	defer stop()
+	// 7-byte chunks force pathological interleavings; content must still
+	// arrive intact and in order.
+	p, addr := startProxy(t, echo, Faults{Seed: 3, MaxChunk: 7})
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := bytes.Repeat([]byte("abcdefghij"), 5000)
+	go c.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("partial-write chunking corrupted the stream")
+	}
+	p.Close()
+}
+
+func TestProxyInjectsReset(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	echo, stop := startEcho(t)
+	defer stop()
+	// Every direction resets within the first KiB: the transfer must die
+	// with an error, and the proxy must count what it injected.
+	p, addr := startProxy(t, echo, Faults{Seed: 11, ResetProb: 1, ResetWindow: 1024})
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	var total int
+	buf := make([]byte, 4096)
+	for {
+		if _, werr := c.Write(bytes.Repeat([]byte("x"), 1024)); werr != nil {
+			break
+		}
+		n, rerr := c.Read(buf)
+		total += n
+		if rerr != nil {
+			break
+		}
+		if total > 1<<20 {
+			t.Fatal("reset never arrived")
+		}
+	}
+	if p.Metrics.Resets.Load() == 0 {
+		t.Fatal("reset was not counted")
+	}
+	p.Close()
+}
+
+func TestProxyStallInjectedOnce(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	echo, stop := startEcho(t)
+	defer stop()
+	var slept atomic.Int64
+	p, addr := startProxy(t, echo, Faults{
+		Seed:        5,
+		StallProb:   1,
+		StallFor:    3 * time.Millisecond,
+		StallWindow: 64,
+		Sleep:       func(d time.Duration) { slept.Add(int64(d)); time.Sleep(d) },
+	})
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := bytes.Repeat([]byte("stall me "), 100)
+	go c.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("stalled stream corrupted")
+	}
+	// Both directions carry bytes, each stalls at most once.
+	if s := p.Metrics.Stalls.Load(); s == 0 || s > 2 {
+		t.Fatalf("stalls = %d, want 1 or 2", s)
+	}
+	if slept.Load() == 0 {
+		t.Fatal("stall never slept")
+	}
+	p.Close()
+}
+
+func TestPlansAreDeterministic(t *testing.T) {
+	a := New("x", nil, Faults{Seed: 42, ResetProb: 0.5, StallProb: 0.5, ResetWindow: 1 << 20, StallWindow: 1 << 20}, nil)
+	b := New("x", nil, Faults{Seed: 42, ResetProb: 0.5, StallProb: 0.5, ResetWindow: 1 << 20, StallWindow: 1 << 20}, nil)
+	for conn := int64(0); conn < 64; conn++ {
+		for dir := int64(0); dir < 2; dir++ {
+			pa, pb := a.newPlan(conn, dir), b.newPlan(conn, dir)
+			if pa.resetAt != pb.resetAt || pa.stallAt != pb.stallAt {
+				t.Fatalf("conn %d dir %d: plans diverge (%d/%d vs %d/%d)",
+					conn, dir, pa.resetAt, pa.stallAt, pb.resetAt, pb.stallAt)
+			}
+		}
+	}
+	// Different seeds must give different schedules somewhere.
+	c := New("x", nil, Faults{Seed: 43, ResetProb: 0.5, StallProb: 0.5, ResetWindow: 1 << 20, StallWindow: 1 << 20}, nil)
+	same := true
+	for conn := int64(0); conn < 64 && same; conn++ {
+		pa, pc := a.newPlan(conn, 0), c.newPlan(conn, 0)
+		if pa.resetAt != pc.resetAt || pa.stallAt != pc.stallAt {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}

@@ -1,0 +1,301 @@
+package chaosnet
+
+// The chaos soak drives the real relay data plane — real TCP sockets, the
+// production Server and DialViaRelay code paths — through a fault-injecting
+// chaosnet proxy at 2x admission capacity, and checks the overload
+// contract:
+//
+//   - every dial resolves promptly: admitted, explicitly shed (BUSY /
+//     GOING_AWAY), or failed with a transport error. Never a silent hang.
+//   - admitted connections finish their transfers with a bounded p99, even
+//     with delays, stalls, partial writes, and resets in the path.
+//   - a graceful drain afterwards leaves nothing behind (the caller pairs
+//     RunSoak with a goroutine-leak check).
+//
+// The harness reads no clocks of its own: Now comes in through SoakConfig
+// (and Sleep through Faults), so the package stays under the wall-clock
+// lint alongside the virtual-time packages.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"incastproxy/internal/obs"
+	"incastproxy/internal/relay"
+)
+
+// SoakConfig parameterizes one soak run.
+type SoakConfig struct {
+	// Seed roots the fault schedule (per-connection plans derive from it).
+	Seed int64
+	// Capacity is the relay's MaxConns; the soak fires 2x this many
+	// concurrent dials (Conns overrides).
+	Capacity int
+	// Conns is the total concurrent client dials (default 2*Capacity).
+	Conns int
+	// PayloadBytes is each admitted connection's echo payload (default 64 KiB).
+	PayloadBytes int
+	// Faults is injected between clients and the relay. Faults.Seed is
+	// overridden with Seed.
+	Faults Faults
+	// DialBound is the silent-hang bar: every dial must resolve —
+	// admitted or shed — within it (default 5s).
+	DialBound time.Duration
+	// TransferBound caps an admitted connection's full echo round trip
+	// (default 30s); it also bounds the post-soak drain.
+	TransferBound time.Duration
+	// P99Bound is the acceptance bar for admitted-connection completion
+	// times (default TransferBound).
+	P99Bound time.Duration
+	// IdleTimeout configures the relay's per-splice idle deadline, letting
+	// injected stalls exercise the reclaim path (0 = none).
+	IdleTimeout time.Duration
+	// Now supplies the clock for completion-time measurement and socket
+	// deadlines; required (tests and proxybench pass time.Now).
+	Now func() time.Time
+	// Registry, if set, collects relay_* and chaos_* instruments.
+	Registry *obs.Registry
+}
+
+// SoakResult is one run's outcome tally.
+type SoakResult struct {
+	Conns    int // dials fired
+	Admitted int // full echo round trips completed
+	Shed     int // explicit BUSY/GOING_AWAY verdicts observed client-side
+	Faulted  int // transport errors (injected resets and their fallout)
+	Hung     int // dials or transfers that hit their bound: contract violations
+
+	P99 time.Duration // admitted-connection completion p99 (0 if none)
+
+	// Server-side accounting, for cross-checking the client view.
+	ServerSheds    uint64 // BUSY + GOING_AWAY frames the relay sent
+	ServerAccepted uint64
+	IdleClosed     uint64
+	DrainErr       error // non-nil if the post-soak drain timed out
+}
+
+// Check asserts the overload contract on a finished run.
+func (r *SoakResult) Check(cfg SoakConfig) error {
+	if r.Hung > 0 {
+		return fmt.Errorf("soak: %d connections hung past their bound (sheds must be explicit, never silent)", r.Hung)
+	}
+	if r.Admitted == 0 {
+		return errors.New("soak: no connection was ever admitted")
+	}
+	if got := r.Admitted + r.Shed + r.Faulted; got != r.Conns {
+		return fmt.Errorf("soak: outcomes %d != dials %d", got, r.Conns)
+	}
+	// Check may be handed the caller's pre-default config: resolve the
+	// bound the same way RunSoak would have.
+	bound := cfg.P99Bound
+	if bound <= 0 {
+		bound = cfg.TransferBound
+	}
+	if bound <= 0 {
+		bound = 30 * time.Second
+	}
+	if r.P99 > bound {
+		return fmt.Errorf("soak: admitted p99 %v exceeds bound %v", r.P99, bound)
+	}
+	// Every client-observed shed is a frame the server counted; the server
+	// may have sent more (a BUSY answer can be eaten by an injected reset,
+	// surfacing client-side as a transport fault instead).
+	if uint64(r.Shed) > r.ServerSheds {
+		return fmt.Errorf("soak: client saw %d sheds, server sent %d", r.Shed, r.ServerSheds)
+	}
+	if r.DrainErr != nil {
+		return fmt.Errorf("soak: post-soak drain: %w", r.DrainErr)
+	}
+	return nil
+}
+
+func (cfg *SoakConfig) withDefaults() error {
+	if cfg.Now == nil {
+		return errors.New("chaosnet: SoakConfig.Now is required")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 8
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 2 * cfg.Capacity
+	}
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = 64 << 10
+	}
+	if cfg.DialBound <= 0 {
+		cfg.DialBound = 5 * time.Second
+	}
+	if cfg.TransferBound <= 0 {
+		cfg.TransferBound = 30 * time.Second
+	}
+	if cfg.P99Bound <= 0 {
+		cfg.P99Bound = cfg.TransferBound
+	}
+	cfg.Faults.Seed = cfg.Seed
+	return nil
+}
+
+// RunSoak stands up the full live path — echo sink, relay server with
+// admission control, chaos proxy — on loopback TCP, fires cfg.Conns
+// concurrent clients through it, drains the relay, and tallies the
+// outcomes. Call (*SoakResult).Check for the pass/fail verdict.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+
+	// Echo sink: the far end of every splice.
+	sinkL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer sinkL.Close()
+	go func() {
+		for {
+			c, err := sinkL.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+
+	// Relay under test: admission-capped, idle-guarded, instrumented.
+	relayL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := relay.New(relay.Config{
+		MaxConns:    cfg.Capacity,
+		IdleTimeout: cfg.IdleTimeout,
+		Registry:    cfg.Registry,
+	})
+	go srv.Serve(relayL)
+
+	// Chaos proxy between the clients and the relay.
+	chaosL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	chaos := New(relayL.Addr().String(), nil, cfg.Faults, cfg.Registry)
+	go chaos.Serve(chaosL)
+
+	res := &SoakResult{Conns: cfg.Conns}
+	var mu sync.Mutex
+	fcts := make([]time.Duration, 0, cfg.Conns)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcome, fct := cfg.runOne(chaosL.Addr().String(), sinkL.Addr().String())
+			mu.Lock()
+			defer mu.Unlock()
+			switch outcome {
+			case outcomeAdmitted:
+				res.Admitted++
+				fcts = append(fcts, fct)
+			case outcomeShed:
+				res.Shed++
+			case outcomeFaulted:
+				res.Faulted++
+			case outcomeHung:
+				res.Hung++
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Graceful teardown: nothing is in flight, so the drain must be clean
+	// and prompt; the chaos proxy follows.
+	res.DrainErr = srv.Drain(cfg.TransferBound)
+	chaos.Close()
+
+	res.ServerSheds = srv.Metrics.ShedBusy.Load() + srv.Metrics.ShedGoingAway.Load()
+	res.ServerAccepted = srv.Metrics.AcceptedConns.Load()
+	res.IdleClosed = srv.Metrics.IdleClosed.Load()
+	if len(fcts) > 0 {
+		sort.Slice(fcts, func(a, b int) bool { return fcts[a] < fcts[b] })
+		res.P99 = fcts[(len(fcts)*99)/100]
+	}
+	return res, nil
+}
+
+type outcome int
+
+const (
+	outcomeAdmitted outcome = iota
+	outcomeShed
+	outcomeFaulted
+	outcomeHung
+)
+
+// runOne is one client's journey: dial through the chaos proxy, and on
+// admission push the payload and read the echo back under a deadline.
+func (cfg *SoakConfig) runOne(chaosAddr, sinkAddr string) (outcome, time.Duration) {
+	start := cfg.Now()
+	dial := func(ctx context.Context, network, addr string) (net.Conn, error) {
+		var d net.Dialer
+		c, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		// Bound the preamble handshake: a shed verdict (or failure) must
+		// arrive within DialBound or the run counts a hang.
+		c.SetDeadline(start.Add(cfg.DialBound))
+		return c, nil
+	}
+	conn, err := relay.DialViaRelay(context.Background(), dial, chaosAddr, sinkAddr)
+	if err != nil {
+		switch {
+		case relay.IsShed(err):
+			return outcomeShed, 0
+		case isTimeout(err):
+			return outcomeHung, 0
+		default:
+			return outcomeFaulted, 0
+		}
+	}
+	defer conn.Close()
+	conn.SetDeadline(cfg.Now().Add(cfg.TransferBound))
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, werr := conn.Write(payload)
+		done <- werr
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		if isTimeout(err) {
+			return outcomeHung, 0
+		}
+		return outcomeFaulted, 0
+	}
+	if werr := <-done; werr != nil {
+		return outcomeFaulted, 0
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			return outcomeFaulted, 0
+		}
+	}
+	return outcomeAdmitted, cfg.Now().Sub(start)
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

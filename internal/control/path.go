@@ -29,6 +29,9 @@ type PathEstimator struct {
 	lossEwma float64 // per-probe loss indicator EWMA in [0,1]
 	sent     uint64
 	lost     uint64
+	busyEwma float64 // per-dial admission-shed indicator EWMA in [0,1]
+	dials    uint64
+	sheds    uint64
 }
 
 // DefaultEstimatorGain is the per-sample EWMA gain.
@@ -104,6 +107,33 @@ func (p *PathEstimator) ObserveLoss(lostProbe bool) {
 	}
 }
 
+// ObserveBusy records one relay admission verdict: shed (an explicit
+// BUSY/GOING_AWAY answer) or admitted. It is a distinct signal from probe
+// loss — a shedding relay is *alive*, just overloaded — so the breaker's
+// view of relay overload reaches steering policies without being mistaken
+// for an unreachable path. Paths that never see admission verdicts (the
+// simulator's in-sim probers) keep a zero busy rate.
+func (p *PathEstimator) ObserveBusy(shed bool) {
+	if p == nil {
+		return
+	}
+	v := 0.0
+	if shed {
+		v = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dials++
+	if shed {
+		p.sheds++
+	}
+	if p.dials == 1 {
+		p.busyEwma = v
+	} else {
+		p.busyEwma += p.gain * (v - p.busyEwma)
+	}
+}
+
 // RTT returns the smoothed round-trip estimate (0 before any sample).
 func (p *PathEstimator) RTT() units.Duration {
 	if p == nil {
@@ -172,6 +202,27 @@ func (p *PathEstimator) RTTSamples() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.rttN
+}
+
+// BusyRate returns the smoothed admission-shed fraction in [0,1]: how often
+// recent relay dials were answered BUSY/GOING_AWAY.
+func (p *PathEstimator) BusyRate() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.busyEwma
+}
+
+// Admissions returns (dials, sheds) admission-verdict counts.
+func (p *PathEstimator) Admissions() (dials, sheds uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dials, p.sheds
 }
 
 // Probes returns (sent, lost) probe counts.

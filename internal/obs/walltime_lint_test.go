@@ -20,7 +20,7 @@ func TestNoWallClockInVirtualTimePaths(t *testing.T) {
 		"Now": true, "Sleep": true, "Since": true, "Until": true,
 		"Tick": true, "After": true, "NewTimer": true, "NewTicker": true,
 	}
-	dirs := []string{"../sim", "../netsim", "../transport", "../control", "."}
+	dirs := []string{"../sim", "../netsim", "../transport", "../control", "../chaosnet", "."}
 	fset := token.NewFileSet()
 	for _, dir := range dirs {
 		entries, err := os.ReadDir(dir)

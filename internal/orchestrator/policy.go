@@ -105,6 +105,17 @@ func (p *AdaptivePolicy) Decide(req Request) (Decision, error) {
 			Reason: fmt.Sprintf("proxy path unhealthy (probe loss %.2f >= %.2f)",
 				p.proxy.LossRate(), p.cfg.ProbeLoss)}, nil
 	}
+	// A relay that answers dials with BUSY/GOING_AWAY is alive — probes
+	// succeed — but overloaded or draining: the breaker-fed busy rate is
+	// the only signal that distinguishes the two, and sending more incasts
+	// its way amplifies the overload it is shedding. The probe-loss
+	// threshold doubles as the shed-rate bar.
+	if p.proxy.BusyRate() >= p.cfg.ProbeLoss {
+		p.o.noteDirect()
+		return Decision{UseProxy: false,
+			Reason: fmt.Sprintf("proxy shedding load (busy rate %.2f >= %.2f)",
+				p.proxy.BusyRate(), p.cfg.ProbeLoss)}, nil
+	}
 	eff := req
 	eff.InterRTT += p.direct.Excess()
 	eff.IntraRTT += p.proxy.Excess()

@@ -175,3 +175,43 @@ func TestAdaptivePolicyRespectsMeasuredExcess(t *testing.T) {
 		t.Fatalf("congested proxy path: expected direct, got %+v", d2)
 	}
 }
+
+// A relay answering dials with BUSY is alive (probes succeed, zero loss)
+// but overloaded; the breaker-fed busy rate must keep new incasts off it
+// until the shed rate decays, exactly like probe loss keeps them off a dead
+// one.
+func TestAdaptivePolicyRefusesSheddingProxy(t *testing.T) {
+	o := New(1)
+	o.Register(Proxy{Ref: workload.HostRef{DC: 0, Host: 63}, Capacity: 100 * units.Gbps})
+	pol := NewAdaptivePolicy(o, control.DefaultConfig())
+
+	// Healthy probes, but every recent dial came back BUSY — the relay
+	// breaker's view of sustained admission shedding.
+	for i := 0; i < 50; i++ {
+		pol.ProxyEstimator().ObserveLoss(false)
+		pol.ProxyEstimator().ObserveBusy(true)
+	}
+	d, err := pol.Decide(bigReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.UseProxy {
+		t.Fatalf("shedding proxy: expected direct, got %+v", d)
+	}
+	if dials, sheds := pol.ProxyEstimator().Admissions(); dials != 50 || sheds != 50 {
+		t.Fatalf("admission accounting: dials=%d sheds=%d", dials, sheds)
+	}
+
+	// Admissions resume: the busy EWMA decays and the proxy wins again.
+	for i := 0; i < 50; i++ {
+		pol.ProxyEstimator().ObserveBusy(false)
+	}
+	d2, err := pol.Decide(bigReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.UseProxy {
+		t.Fatalf("recovered proxy: expected proxy, got %+v", d2)
+	}
+	pol.Release(d2.Assignment)
+}

@@ -1,0 +1,315 @@
+package relay
+
+// Circuit-breaker behavior: an explicit shed or a run of dial failures must
+// open the breaker, an open breaker must fail fast without touching the
+// network, and a half-open probe must be the only dial that tests recovery.
+// The final test hammers health flaps and concurrent dials together — the
+// interleaving that only the race detector can audit.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"incastproxy/internal/cliutil"
+	"incastproxy/internal/control"
+	"incastproxy/internal/lan"
+)
+
+// countingDialer wraps a fabric dialer and counts invocations, so tests can
+// prove a breaker-open dial never reached the network.
+func countingDialer(f *lan.Fabric, from lan.Addr) (func(context.Context, string, string) (net.Conn, error), *atomic.Int64) {
+	inner := f.Dialer(from)
+	var calls atomic.Int64
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		calls.Add(1)
+		return inner(ctx, network, addr)
+	}, &calls
+}
+
+func TestBreakerOpensOnBusyShed(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	f := lan.NewFabric(lan.PipeConfig{})
+	sinkL, _ := f.Listen("sink")
+	defer sinkL.Close()
+	echoServer(t, sinkL)
+	relayL, _ := f.Listen("relay")
+	srv := New(Config{Dial: f.Dialer("relay"), MaxConns: 1})
+	go srv.Serve(relayL)
+	defer srv.Close()
+
+	// Occupy the only admission slot.
+	held, err := DialViaRelay(context.Background(), f.Dialer("other"), "relay", "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+
+	dial, calls := countingDialer(f, "client")
+	est := control.NewPathEstimator("relay", 0)
+	c := NewClient(ClientConfig{
+		Dial:          dial,
+		RelayAddr:     "relay",
+		Policy:        fastPolicy(),
+		PathEstimator: est,
+	})
+	defer c.Close()
+
+	// One BUSY is authoritative: the breaker opens immediately, with no
+	// retries (a shed is an answer, not a fault).
+	_, err = c.DialTarget(context.Background(), "sink")
+	if !errors.Is(err, ErrRelayBusy) {
+		t.Fatalf("err = %v, want ErrRelayBusy", err)
+	}
+	if got := c.Breaker(); got != BreakerOpen {
+		t.Fatalf("breaker = %v after shed, want open", got)
+	}
+	if c.Metrics.BreakerOpens.Load() != 1 || c.Metrics.BusySheds.Load() != 1 {
+		t.Fatalf("opens=%d sheds=%d, want 1/1",
+			c.Metrics.BreakerOpens.Load(), c.Metrics.BusySheds.Load())
+	}
+	if r := c.Metrics.DialRetries.Load(); r != 0 {
+		t.Fatalf("retries = %d after an explicit shed, want 0", r)
+	}
+	// Shedding is overload, not unreachability: health stays up, and the
+	// estimator's busy axis (not its loss axis) carries the signal.
+	if !c.Healthy() {
+		t.Fatal("BUSY flipped the reachability health bit")
+	}
+	if est.BusyRate() == 0 {
+		t.Fatal("shed never reached the estimator's busy signal")
+	}
+
+	// While open, dials fail fast without touching the network.
+	before := calls.Load()
+	_, err = c.DialTarget(context.Background(), "sink")
+	if !errors.Is(err, ErrRelayUnavailable) {
+		t.Fatalf("breaker-open dial: err = %v, want ErrRelayUnavailable", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("breaker-open dial touched the network")
+	}
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	f := lan.NewFabric(lan.PipeConfig{})
+	// No relay listening at all: every attempt is a transport failure.
+	dial, calls := countingDialer(f, "client")
+	c := NewClient(ClientConfig{
+		Dial:      dial,
+		RelayAddr: "relay",
+		Policy:    fastPolicy(),
+		Breaker:   BreakerPolicy{FailureThreshold: 2, OpenTimeout: time.Hour},
+	})
+	defer c.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.DialTarget(context.Background(), "sink"); err == nil {
+			t.Fatal("dead relay dial succeeded")
+		}
+	}
+	if got := c.Breaker(); got != BreakerOpen {
+		t.Fatalf("breaker = %v after %d failed dials, want open", got, 2)
+	}
+	before := calls.Load()
+	if _, err := c.DialTarget(context.Background(), "sink"); !errors.Is(err, ErrRelayUnavailable) {
+		t.Fatalf("err = %v, want ErrRelayUnavailable", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("breaker-open dial touched the network")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	f := lan.NewFabric(lan.PipeConfig{})
+	sinkL, _ := f.Listen("sink")
+	defer sinkL.Close()
+	echoServer(t, sinkL)
+	relayL, _ := f.Listen("relay")
+	srv := New(Config{Dial: f.Dialer("relay"), MaxConns: 1})
+	go srv.Serve(relayL)
+	defer srv.Close()
+
+	held, err := DialViaRelay(context.Background(), f.Dialer("other"), "relay", "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewClient(ClientConfig{
+		Dial:      f.Dialer("client"),
+		RelayAddr: "relay",
+		Policy:    fastPolicy(),
+		Breaker:   BreakerPolicy{OpenTimeout: 10 * time.Millisecond},
+	})
+	defer c.Close()
+
+	if _, err := c.DialTarget(context.Background(), "sink"); !errors.Is(err, ErrRelayBusy) {
+		t.Fatalf("err = %v, want ErrRelayBusy", err)
+	}
+	if c.Breaker() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", c.Breaker())
+	}
+
+	// Capacity returns; after the cool-down the next dial is the half-open
+	// probe and its success closes the breaker.
+	held.Close()
+	if !cliutil.WaitUntil(5*time.Second, time.Millisecond, func() bool {
+		return srv.ActiveSplices() == 0
+	}) {
+		t.Fatal("slot never freed")
+	}
+	var conn net.Conn
+	if !cliutil.WaitUntil(5*time.Second, 2*time.Millisecond, func() bool {
+		var derr error
+		conn, derr = c.DialTarget(context.Background(), "sink")
+		return derr == nil
+	}) {
+		t.Fatalf("breaker never recovered; state = %v", c.Breaker())
+	}
+	conn.Close()
+	if got := c.Breaker(); got != BreakerClosed {
+		t.Fatalf("breaker = %v after successful probe, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	f := lan.NewFabric(lan.PipeConfig{})
+	sinkL, _ := f.Listen("sink")
+	defer sinkL.Close()
+	echoServer(t, sinkL)
+	relayL, _ := f.Listen("relay")
+	srv := New(Config{Dial: f.Dialer("relay"), MaxConns: 1})
+	go srv.Serve(relayL)
+	defer srv.Close()
+
+	held, err := DialViaRelay(context.Background(), f.Dialer("other"), "relay", "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+
+	c := NewClient(ClientConfig{
+		Dial:      f.Dialer("client"),
+		RelayAddr: "relay",
+		Policy:    fastPolicy(),
+		Breaker:   BreakerPolicy{FailureThreshold: 100, OpenTimeout: 10 * time.Millisecond},
+	})
+	defer c.Close()
+
+	if _, err := c.DialTarget(context.Background(), "sink"); !errors.Is(err, ErrRelayBusy) {
+		t.Fatalf("err = %v, want ErrRelayBusy", err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	// Still at capacity: the half-open probe is shed too, and a failed
+	// probe re-opens immediately regardless of the failure threshold.
+	if _, err := c.DialTarget(context.Background(), "sink"); !errors.Is(err, ErrRelayBusy) {
+		t.Fatalf("probe err = %v, want ErrRelayBusy", err)
+	}
+	if got := c.Breaker(); got != BreakerOpen {
+		t.Fatalf("breaker = %v after failed probe, want open", got)
+	}
+	if opens := c.Metrics.BreakerOpens.Load(); opens != 2 {
+		t.Fatalf("breaker opens = %d, want 2", opens)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	f := lan.NewFabric(lan.PipeConfig{})
+	dial, calls := countingDialer(f, "client")
+	c := NewClient(ClientConfig{
+		Dial:      dial,
+		RelayAddr: "relay",
+		Policy:    fastPolicy(),
+		Breaker:   BreakerPolicy{FailureThreshold: -1},
+	})
+	defer c.Close()
+
+	// Many consecutive failures, yet every dial still reaches the network.
+	for i := 0; i < 4; i++ {
+		before := calls.Load()
+		if _, err := c.DialTarget(context.Background(), "sink"); err == nil {
+			t.Fatal("dead relay dial succeeded")
+		}
+		if calls.Load() == before {
+			t.Fatalf("dial %d short-circuited with the breaker disabled", i)
+		}
+	}
+	if got := c.Breaker(); got != BreakerClosed {
+		t.Fatalf("disabled breaker moved to %v", got)
+	}
+}
+
+func TestClientConcurrentDialsSurviveHealthFlaps(t *testing.T) {
+	defer cliutil.LeakCheck(t)()
+	f := lan.NewFabric(lan.PipeConfig{})
+	sinkL, _ := f.Listen("sink")
+	defer sinkL.Close()
+	echoServer(t, sinkL)
+
+	c := NewClient(ClientConfig{
+		Dial:           f.Dialer("client"),
+		RelayAddr:      "relay",
+		Policy:         fastPolicy(),
+		Breaker:        BreakerPolicy{FailureThreshold: 2, OpenTimeout: 2 * time.Millisecond},
+		FallbackDirect: true,
+		HealthInterval: time.Millisecond,
+		PathEstimator:  control.NewPathEstimator("relay", 0),
+	})
+	defer c.Close()
+
+	// The relay flaps: up briefly, down briefly, repeatedly — racing the
+	// health loop, the breaker's open/half-open transitions, and a pile of
+	// concurrent dials. Every dial must still complete (fallback guarantees
+	// a path); the race detector audits the interleavings.
+	stopFlap := make(chan struct{})
+	flapDone := make(chan struct{})
+	go func() {
+		defer close(flapDone)
+		for {
+			select {
+			case <-stopFlap:
+				return
+			default:
+			}
+			relayL, err := f.Listen("relay")
+			if err == nil {
+				srv := New(Config{Dial: f.Dialer("relay"), MaxConns: 4})
+				go srv.Serve(relayL)
+				time.Sleep(5 * time.Millisecond)
+				srv.Close()
+				relayL.Close()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const workers = 8
+	const dialsPer = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < dialsPer; i++ {
+				conn, err := c.DialTarget(context.Background(), "sink")
+				if err != nil {
+					t.Errorf("dial with fallback failed: %v", err)
+					return
+				}
+				conn.Write([]byte("x"))
+				conn.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopFlap)
+	<-flapDone
+}

@@ -4,9 +4,16 @@ package relay
 // is reachable, so a sender that insists on the relay when the relay is dead
 // turns a performance optimization into an availability bug. Client wraps
 // DialViaRelay with a retry policy (per-attempt timeout, exponential backoff
-// with jitter, bounded attempts), an active health-check loop, and graceful
-// degradation: when the relay is down, flows fall back to the direct
-// shortest path — slower, per the paper's argument, but alive.
+// with jitter, bounded attempts), an active health-check loop, a circuit
+// breaker, and graceful degradation: when the relay is down — or shedding
+// under overload — flows fall back to the direct shortest path: slower, per
+// the paper's argument, but alive.
+//
+// The breaker is what keeps N incast senders from turning one overloaded
+// relay into N retry storms: consecutive dial failures (or a single
+// explicit BUSY/GOING_AWAY shed, which is the relay *telling* us to go
+// away) open it, open dials fail fast without touching the network, and a
+// half-open probe after a cool-down lets exactly one dial test the water.
 
 import (
 	"context"
@@ -40,7 +47,9 @@ type DialPolicy struct {
 	// senders of an incast (default 0.2).
 	Jitter float64
 	// Rand supplies the jitter coin in [0,1); tests inject a seeded
-	// source for reproducibility (default math/rand).
+	// source for reproducibility (default math/rand). It need not be
+	// goroutine-safe: withDefaults serializes draws, since concurrent
+	// DialTarget calls share the policy.
 	Rand func() float64
 }
 
@@ -62,6 +71,14 @@ func (p DialPolicy) withDefaults() DialPolicy {
 	}
 	if p.Rand == nil {
 		p.Rand = rand.Float64
+	} else {
+		var mu sync.Mutex
+		inner := p.Rand
+		p.Rand = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return inner()
+		}
 	}
 	return p
 }
@@ -76,6 +93,54 @@ func (p DialPolicy) delay(n int) time.Duration {
 	return time.Duration(float64(d) * spread)
 }
 
+// BreakerState is the circuit breaker's state.
+type BreakerState int32
+
+// Breaker states: Closed passes dials through, Open fails them fast, and
+// HalfOpen lets exactly one probe dial through to test recovery.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int32(s))
+	}
+}
+
+// BreakerPolicy configures the client's circuit breaker.
+type BreakerPolicy struct {
+	// FailureThreshold is how many consecutive relay dial failures open
+	// the breaker (default 5). An explicit BUSY/GOING_AWAY shed opens it
+	// immediately regardless — the relay has already answered. Negative
+	// disables the breaker entirely.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before a half-open
+	// probe dial is allowed (default 1s).
+	OpenTimeout time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.FailureThreshold == 0 {
+		p.FailureThreshold = 5
+	}
+	if p.OpenTimeout <= 0 {
+		p.OpenTimeout = time.Second
+	}
+	return p
+}
+
+func (p BreakerPolicy) disabled() bool { return p.FailureThreshold < 0 }
+
 // ClientConfig parameterizes a resilient relay client.
 type ClientConfig struct {
 	// Dial is the underlying dialer (default net.Dialer); tests inject
@@ -85,8 +150,13 @@ type ClientConfig struct {
 	RelayAddr string
 	// Policy bounds relay dial attempts.
 	Policy DialPolicy
+	// Breaker configures the circuit breaker layered on the retry
+	// policy. The zero value enables it with defaults; set
+	// FailureThreshold negative to disable.
+	Breaker BreakerPolicy
 	// FallbackDirect, when set, dials the target directly once the relay
-	// path is exhausted or known-unhealthy, instead of failing the flow.
+	// path is exhausted, known-unhealthy, or breaker-open, instead of
+	// failing the flow.
 	FallbackDirect bool
 	// HealthInterval spaces active health probes; zero disables the
 	// loop (health then changes only on dial outcomes).
@@ -98,19 +168,22 @@ type ClientConfig struct {
 	Registry *obs.Registry
 	// PathEstimator, if set, receives every health probe's outcome: the
 	// dial round-trip on success (ObserveRTT) plus a loss mark either way
-	// (ObserveLoss). It is the same estimator type the simulator's in-sim
+	// (ObserveLoss), and every relay dial's admission verdict
+	// (ObserveBusy). It is the same estimator type the simulator's in-sim
 	// probers feed, so admission policies (orchestrator.AdaptivePolicy)
-	// consume live relay telemetry through the interface they already use.
+	// consume live relay telemetry — including breaker-visible overload —
+	// through the interface they already use.
 	PathEstimator *control.PathEstimator
 }
 
-// Client dials targets through a relay with retries, health tracking, and
-// optional direct fallback. Create with NewClient; Close stops the health
-// loop.
+// Client dials targets through a relay with retries, health tracking, a
+// circuit breaker, and optional direct fallback. Create with NewClient;
+// Close stops the health loop.
 type Client struct {
 	cfg ClientConfig
 	// Metrics shares the Server's counter type: DialRetries, Fallbacks,
-	// and HealthFlaps are the client-side fields.
+	// HealthFlaps, BreakerOpens, BreakerState, and BusySheds are the
+	// client-side fields.
 	Metrics Metrics
 
 	mu        sync.Mutex
@@ -118,11 +191,37 @@ type Client struct {
 	closed    bool
 	stop      chan struct{}
 	loopDone  chan struct{}
+
+	// Circuit breaker state, all guarded by mu.
+	brState     BreakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe dial is in flight
 }
 
 // ErrRelayUnavailable reports that every relay attempt failed and direct
 // fallback was not enabled.
 var ErrRelayUnavailable = errors.New("relay: relay unavailable")
+
+// ErrRelayBusy reports a dial the relay shed with a BUSY frame: the relay
+// is alive but at admission capacity. Retrying immediately amplifies the
+// overload; back off or take the direct path.
+var ErrRelayBusy = errors.New("relay: busy (admission shed)")
+
+// ErrRelayDraining reports a dial the relay shed with GOING_AWAY: the relay
+// is gracefully shutting down. Re-route rather than retry.
+var ErrRelayDraining = errors.New("relay: draining (going away)")
+
+// ErrBreakerOpen reports a dial the client's circuit breaker refused
+// without touching the network. It matches ErrRelayUnavailable under
+// errors.Is.
+var ErrBreakerOpen = fmt.Errorf("%w (circuit breaker open)", ErrRelayUnavailable)
+
+// IsShed reports whether err is an explicit relay overload verdict
+// (BUSY or GOING_AWAY) rather than a transport failure.
+func IsShed(err error) bool {
+	return errors.Is(err, ErrRelayBusy) || errors.Is(err, ErrRelayDraining)
+}
 
 // NewClient returns a Client and, if HealthInterval is set, starts its
 // health-check loop.
@@ -132,6 +231,7 @@ func NewClient(cfg ClientConfig) *Client {
 		cfg.Dial = d.DialContext
 	}
 	cfg.Policy = cfg.Policy.withDefaults()
+	cfg.Breaker = cfg.Breaker.withDefaults()
 	if cfg.HealthTimeout <= 0 {
 		cfg.HealthTimeout = cfg.Policy.AttemptTimeout
 	}
@@ -181,6 +281,76 @@ func (c *Client) setHealthy(ok bool) {
 	c.Metrics.HealthFlaps.Add(1)
 }
 
+// Breaker returns the circuit breaker's current state.
+func (c *Client) Breaker() BreakerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brState
+}
+
+// breakerAcquire asks the breaker for permission to dial the relay.
+// probe is true when this dial is the single half-open trial.
+func (c *Client) breakerAcquire() (probe, allowed bool) {
+	if c.cfg.Breaker.disabled() {
+		return false, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.brState {
+	case BreakerClosed:
+		return false, true
+	case BreakerOpen:
+		if time.Since(c.openedAt) < c.cfg.Breaker.OpenTimeout {
+			return false, false
+		}
+		c.setBreakerLocked(BreakerHalfOpen)
+		fallthrough
+	case BreakerHalfOpen:
+		if c.probing {
+			return false, false
+		}
+		c.probing = true
+		return true, true
+	}
+	return false, true
+}
+
+// breakerReport folds one relay dial outcome into the breaker. Shed
+// verdicts open it immediately; other failures open it after
+// FailureThreshold in a row; caller-cancelled dials are neutral.
+func (c *Client) breakerReport(probe bool, err error, ctxErr error) {
+	if c.cfg.Breaker.disabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if probe {
+		c.probing = false
+	}
+	if err == nil {
+		c.consecFails = 0
+		c.setBreakerLocked(BreakerClosed)
+		return
+	}
+	if ctxErr != nil && errors.Is(err, ctxErr) {
+		return // the caller gave up, not the relay
+	}
+	c.consecFails++
+	shed := errors.Is(err, ErrRelayBusy) || errors.Is(err, ErrRelayDraining)
+	if shed || c.consecFails >= c.cfg.Breaker.FailureThreshold || c.brState == BreakerHalfOpen {
+		if c.brState != BreakerOpen {
+			c.Metrics.BreakerOpens.Add(1)
+		}
+		c.openedAt = time.Now()
+		c.setBreakerLocked(BreakerOpen)
+	}
+}
+
+func (c *Client) setBreakerLocked(s BreakerState) {
+	c.brState = s
+	c.Metrics.BreakerState.Set(int64(s))
+}
+
 // healthLoop probes the relay's accept path every HealthInterval.
 func (c *Client) healthLoop() {
 	defer close(c.loopDone)
@@ -209,21 +379,36 @@ func (c *Client) healthLoop() {
 }
 
 // DialTarget opens a byte stream to target: through the relay while it is
-// healthy, retrying per the policy, and directly when the relay path is
-// exhausted (FallbackDirect). The error from the last relay attempt is
-// always surfaced — promptly, each attempt individually bounded — when no
-// path works.
+// healthy and the breaker allows it, retrying per the policy, and directly
+// when the relay path is exhausted, shed, or breaker-open (FallbackDirect).
+// The error from the last relay attempt is always surfaced — promptly, each
+// attempt individually bounded — when no path works.
 func (c *Client) DialTarget(ctx context.Context, target string) (net.Conn, error) {
 	relayErr := ErrRelayUnavailable
-	tryRelay := c.Healthy() || !c.cfg.FallbackDirect
-	if tryRelay {
-		conn, err := c.dialRelayWithRetries(ctx, target)
-		if err == nil {
-			c.setHealthy(true)
-			return conn, nil
+	wantRelay := c.Healthy() || !c.cfg.FallbackDirect
+	if wantRelay {
+		probe, allowed := c.breakerAcquire()
+		if !allowed {
+			relayErr = ErrBreakerOpen
+		} else {
+			conn, err := c.dialRelayWithRetries(ctx, target)
+			c.breakerReport(probe, err, ctx.Err())
+			if err == nil {
+				c.setHealthy(true)
+				c.cfg.PathEstimator.ObserveBusy(false)
+				return conn, nil
+			}
+			relayErr = err
+			if IsShed(err) {
+				// The relay answered: it is alive but shedding.
+				// Overload feeds the estimator's busy signal, not
+				// the reachability health bit.
+				c.Metrics.BusySheds.Add(1)
+				c.cfg.PathEstimator.ObserveBusy(true)
+			} else if ctx.Err() == nil {
+				c.setHealthy(false)
+			}
 		}
-		relayErr = err
-		c.setHealthy(false)
 	}
 	if c.cfg.FallbackDirect {
 		conn, err := c.cfg.Dial(ctx, "tcp", target)
@@ -253,6 +438,12 @@ func (c *Client) dialRelayWithRetries(ctx context.Context, target string) (net.C
 			return conn, nil
 		}
 		lastErr = err
+		if IsShed(err) {
+			// An explicit shed is an authoritative answer, not a
+			// transient fault: retrying an overloaded relay amplifies
+			// the very burst it is shedding.
+			return nil, fmt.Errorf("relay: shed by %s: %w", c.cfg.RelayAddr, err)
+		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}

@@ -8,6 +8,16 @@
 // client's transport control loop (kernel TCP in a real deployment, the
 // lan emulation in tests) terminates at the relay, microseconds away,
 // instead of at the remote receiver, milliseconds away.
+//
+// The relay is only a win while it is not itself the bottleneck, so the
+// server defends itself under exactly the incast bursts it is deployed to
+// absorb: admission control (max concurrent connections plus a token-bucket
+// accept rate) sheds excess dials with a fast BUSY wire frame before any
+// work is done for them; per-splice idle and lifetime deadlines reclaim
+// goroutines pinned by stalled peers; and Drain performs a graceful
+// shutdown — established splices finish, new dials get GOING_AWAY — with a
+// hard deadline. Shedding new dials always comes before disturbing
+// established splices: a brownout, not a blackout.
 package relay
 
 import (
@@ -17,6 +27,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incastproxy/internal/obs"
@@ -35,10 +46,21 @@ type Metrics struct {
 	BytesUpstream *obs.Counter // client -> target
 	BytesDownstr  *obs.Counter // target -> client
 
+	// Overload-protection counters (see Config.MaxConns/AcceptRate and
+	// Server.Drain).
+	ShedBusy      *obs.Counter // dials refused with BUSY (admission)
+	ShedGoingAway *obs.Counter // dials refused with GOING_AWAY (drain)
+	AcceptRetries *obs.Counter // temporary accept errors retried
+	IdleClosed    *obs.Counter // splices torn down by the idle deadline
+	State         *obs.Gauge   // 0 serving, 1 draining, 2 closed
+
 	// Client-side resilience counters (see Client).
-	DialRetries *obs.Counter // relay dial attempts beyond the first
-	Fallbacks   *obs.Counter // flows degraded to the direct path
-	HealthFlaps *obs.Counter // healthy <-> unhealthy transitions
+	DialRetries  *obs.Counter // relay dial attempts beyond the first
+	Fallbacks    *obs.Counter // flows degraded to the direct path
+	HealthFlaps  *obs.Counter // healthy <-> unhealthy transitions
+	BreakerOpens *obs.Counter // circuit breaker closed/half-open -> open
+	BreakerState *obs.Gauge   // 0 closed, 1 open, 2 half-open
+	BusySheds    *obs.Counter // dials the relay answered with BUSY/GOING_AWAY
 }
 
 // NewMetrics builds the instrument set, registered under prefix_* when reg
@@ -51,9 +73,17 @@ func NewMetrics(reg *obs.Registry, prefix string) Metrics {
 			DialErrors:    &obs.Counter{},
 			BytesUpstream: &obs.Counter{},
 			BytesDownstr:  &obs.Counter{},
+			ShedBusy:      &obs.Counter{},
+			ShedGoingAway: &obs.Counter{},
+			AcceptRetries: &obs.Counter{},
+			IdleClosed:    &obs.Counter{},
+			State:         &obs.Gauge{},
 			DialRetries:   &obs.Counter{},
 			Fallbacks:     &obs.Counter{},
 			HealthFlaps:   &obs.Counter{},
+			BreakerOpens:  &obs.Counter{},
+			BreakerState:  &obs.Gauge{},
+			BusySheds:     &obs.Counter{},
 		}
 	}
 	return Metrics{
@@ -62,9 +92,17 @@ func NewMetrics(reg *obs.Registry, prefix string) Metrics {
 		DialErrors:    reg.Counter(prefix + "_dial_errors_total"),
 		BytesUpstream: reg.Counter(prefix + "_bytes_upstream_total"),
 		BytesDownstr:  reg.Counter(prefix + "_bytes_downstream_total"),
+		ShedBusy:      reg.Counter(prefix + "_shed_busy_total"),
+		ShedGoingAway: reg.Counter(prefix + "_shed_goingaway_total"),
+		AcceptRetries: reg.Counter(prefix + "_accept_retries_total"),
+		IdleClosed:    reg.Counter(prefix + "_idle_closed_total"),
+		State:         reg.Gauge(prefix + "_state"),
 		DialRetries:   reg.Counter(prefix + "_dial_retries_total"),
 		Fallbacks:     reg.Counter(prefix + "_fallbacks_total"),
 		HealthFlaps:   reg.Counter(prefix + "_health_flaps_total"),
+		BreakerOpens:  reg.Counter(prefix + "_breaker_opens_total"),
+		BreakerState:  reg.Gauge(prefix + "_breaker_state"),
+		BusySheds:     reg.Counter(prefix + "_busy_sheds_total"),
 	}
 }
 
@@ -88,10 +126,44 @@ type Config struct {
 	// partial header holds a handler goroutine and connection slot
 	// forever — a slowloris on the relay's accept path.
 	PreambleTimeout time.Duration
+
+	// MaxConns caps concurrently admitted relay connections; dials
+	// arriving over the cap are shed with a BUSY frame before any target
+	// dial or preamble read (0 = unlimited). This is the knob that keeps
+	// the relay from melting under the very incast it absorbs: past the
+	// cap, more splices only add queueing, and an explicit BUSY lets the
+	// sender's breaker re-route instead of piling on.
+	MaxConns int
+	// AcceptRate, when positive, limits admissions to this many per
+	// second via a token bucket of depth AcceptBurst; dials beyond the
+	// budget are shed with BUSY. It smooths connection-setup bursts that
+	// MaxConns alone would admit all at once.
+	AcceptRate float64
+	// AcceptBurst is the token-bucket depth (default 8 when AcceptRate is
+	// set).
+	AcceptBurst int
+	// IdleTimeout tears down a splice when no bytes move in either
+	// direction for this long (0 = no idle limit). A stalled peer
+	// otherwise pins two goroutines and a buffer forever.
+	IdleTimeout time.Duration
+	// SpliceTimeout caps a splice's total lifetime regardless of
+	// activity (0 = unlimited) — the byte-pump analogue of a request
+	// deadline.
+	SpliceTimeout time.Duration
+
 	// Registry, if set, registers the server's Metrics under relay_*
 	// names, so a -debug-addr endpoint can expose them.
 	Registry *obs.Registry
 }
+
+// Server states (Metrics.State): the overload/degradation state machine is
+// serving -> draining -> closed, with load-driven BUSY shedding a condition
+// of serving rather than a state of its own.
+const (
+	StateServing int64 = iota
+	StateDraining
+	StateClosed
+)
 
 // Server is a relay instance. Create with New, run with Serve.
 type Server struct {
@@ -99,14 +171,22 @@ type Server struct {
 	Metrics Metrics
 
 	mu       sync.Mutex
-	closed   bool
+	state    int64
 	listener net.Listener
 	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
+	active   int            // admitted splices in flight (MaxConns accounting)
+	tokens   float64        // accept-rate bucket level
+	lastFill time.Time      // last bucket refill
+	wg       sync.WaitGroup // every conn goroutine: splices and shed writers
+	inflight sync.WaitGroup // admitted splices only: what Drain waits for
 }
 
 // ErrTargetRefused reports a target rejected by AllowTarget.
 var ErrTargetRefused = errors.New("relay: target refused by policy")
+
+// ErrDrainTimeout reports a Drain that hit its deadline with splices still
+// in flight; they were hard-closed.
+var ErrDrainTimeout = errors.New("relay: drain deadline exceeded")
 
 // New returns a Server with the given configuration.
 func New(cfg Config) *Server {
@@ -123,46 +203,96 @@ func New(cfg Config) *Server {
 	if cfg.PreambleTimeout <= 0 {
 		cfg.PreambleTimeout = 10 * time.Second
 	}
-	return &Server{
+	if cfg.AcceptRate > 0 && cfg.AcceptBurst <= 0 {
+		cfg.AcceptBurst = 8
+	}
+	s := &Server{
 		cfg:     cfg,
 		Metrics: NewMetrics(cfg.Registry, "relay"),
 		conns:   make(map[net.Conn]struct{}),
+		tokens:  float64(cfg.AcceptBurst),
 	}
+	s.Metrics.State.Set(StateServing)
+	return s
 }
 
 // Registry returns the registry the server's metrics are registered in
 // (nil when Config.Registry was not set).
 func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
 
-// Serve accepts relay clients on l until Close (or a fatal accept error).
+// State returns the server's lifecycle state (StateServing, StateDraining,
+// StateClosed).
+func (s *Server) State() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// ActiveSplices returns the number of admitted splices in flight.
+func (s *Server) ActiveSplices() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// acceptBackoff caps the retry delay for transient accept errors.
+const (
+	acceptBackoffBase = 5 * time.Millisecond
+	acceptBackoffMax  = time.Second
+)
+
+// Serve accepts relay clients on l until Close or Drain completes (or a
+// fatal accept error). Transient accept failures — EMFILE-class resource
+// exhaustion, aborted handshakes, timeouts — are retried with capped
+// backoff instead of tearing down the listener: running out of file
+// descriptors for a moment must degrade, not kill, the relay.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.state == StateClosed {
 		s.mu.Unlock()
 		return net.ErrClosed
 	}
 	s.listener = l
 	s.mu.Unlock()
+	var backoff time.Duration
 	for {
 		c, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			closed := s.state == StateClosed
 			s.mu.Unlock()
 			if closed {
 				return net.ErrClosed
 			}
+			if retryableAccept(err) {
+				if backoff == 0 {
+					backoff = acceptBackoffBase
+				} else if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				s.Metrics.AcceptRetries.Add(1)
+				time.Sleep(backoff)
+				continue
+			}
 			return err
 		}
-		if !s.track(c) {
-			c.Close()
-			return net.ErrClosed
-		}
+		backoff = 0
 		s.Metrics.AcceptedConns.Add(1)
+		admitted, verdict := s.admit(c)
+		if !admitted {
+			if verdict == 0 {
+				// Closed while accepting: no shed goroutine was
+				// started, just drop the conn.
+				c.Close()
+				return net.ErrClosed
+			}
+			continue
+		}
 		s.Metrics.ActiveConns.Add(1)
-		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.inflight.Done()
+			defer s.release()
 			defer s.Metrics.ActiveConns.Add(-1)
 			defer s.untrack(c)
 			s.handle(c)
@@ -170,15 +300,144 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// retryableAccept reports whether an accept error is transient: worth a
+// capped-backoff retry rather than listener teardown. Covers deadline-style
+// timeouts and the EMFILE/ECONNABORTED-class errors net.Error marks
+// temporary (the deprecation of Temporary notwithstanding, it is exactly
+// the accept-loop signal it was introduced for; net/http's Serve keeps the
+// same check).
+func retryableAccept(err error) bool {
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		return false
+	}
+	if ne.Timeout() {
+		return true
+	}
+	type temporary interface{ Temporary() bool }
+	var te temporary
+	return errors.As(err, &te) && te.Temporary()
+}
+
+// admit decides one accepted connection's fate under the admission policy
+// and current lifecycle state. It returns (true, 0) for an admitted
+// connection — with the splice registered in every waitgroup/counter under
+// the lock, so Drain's Wait can never race an Add — or (false, kind) for a
+// shed one, spawning the shed writer itself. (false, 0) means the server
+// closed mid-accept.
+func (s *Server) admit(c net.Conn) (bool, wire.Kind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StateClosed:
+		return false, 0
+	case StateDraining:
+		s.shedLocked(c, wire.KindGoingAway)
+		return false, wire.KindGoingAway
+	}
+	if s.cfg.MaxConns > 0 && s.active >= s.cfg.MaxConns {
+		s.shedLocked(c, wire.KindBusy)
+		return false, wire.KindBusy
+	}
+	if s.cfg.AcceptRate > 0 && !s.takeTokenLocked() {
+		s.shedLocked(c, wire.KindBusy)
+		return false, wire.KindBusy
+	}
+	s.conns[c] = struct{}{}
+	s.active++
+	s.wg.Add(1)
+	s.inflight.Add(1)
+	return true, 0
+}
+
+// takeTokenLocked refills and draws from the accept-rate bucket.
+func (s *Server) takeTokenLocked() bool {
+	now := time.Now()
+	if !s.lastFill.IsZero() {
+		s.tokens += now.Sub(s.lastFill).Seconds() * s.cfg.AcceptRate
+		if max := float64(s.cfg.AcceptBurst); s.tokens > max {
+			s.tokens = max
+		}
+	}
+	s.lastFill = now
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+// shedLocked spawns the fast-shed writer for a refused connection: one wire
+// header, a short write deadline, close. The goroutine is tracked in s.wg
+// (but not s.inflight — shed writers must not delay a drain) and the conn
+// in s.conns so Close can cut a stalled shed write short.
+func (s *Server) shedLocked(c net.Conn, kind wire.Kind) {
+	if kind == wire.KindBusy {
+		s.Metrics.ShedBusy.Add(1)
+	} else {
+		s.Metrics.ShedGoingAway.Add(1)
+	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.untrack(c)
+		defer c.Close()
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		c.Write(wire.Marshal(wire.Header{Kind: kind}))
+	}()
+}
+
+func (s *Server) release() {
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+}
+
+// Drain gracefully shuts the server down: new dials are shed with
+// GOING_AWAY while established splices run to completion, for at most
+// timeout; any splices still alive at the deadline are hard-closed and
+// ErrDrainTimeout is returned. Either way the server is fully closed (and
+// Serve has returned) when Drain returns; a clean drain returns nil.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.state == StateClosed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	if s.state == StateServing {
+		s.state = StateDraining
+		s.Metrics.State.Set(StateDraining)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var err error
+	select {
+	case <-done:
+	case <-timer.C:
+		err = ErrDrainTimeout
+	}
+	s.Close()
+	return err
+}
+
 // Close stops accepting and closes every active connection, then waits for
-// handlers to drain.
+// handlers to drain. It is the hard stop; use Drain for the graceful path.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.state == StateClosed {
 		s.mu.Unlock()
 		return nil
 	}
-	s.closed = true
+	s.state = StateClosed
+	s.Metrics.State.Set(StateClosed)
 	l := s.listener
 	for c := range s.conns {
 		c.Close()
@@ -189,16 +448,6 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return nil
-}
-
-func (s *Server) track(c net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	s.conns[c] = struct{}{}
-	return true
 }
 
 func (s *Server) untrack(c net.Conn) {
@@ -237,39 +486,131 @@ func (s *Server) handle(client net.Conn) {
 	s.splice(client, remote)
 }
 
+// spliceState is the deadline bookkeeping shared by a splice's two copy
+// directions: one direction's progress keeps the other's idle clock from
+// firing (a one-way bulk transfer is busy, not idle), and the teardown is
+// counted once no matter which side trips it.
+type spliceState struct {
+	activity atomic.Int64 // UnixNano of the last byte moved, either direction
+	lifetime time.Time    // absolute SpliceTimeout deadline (zero = none)
+	timedOut atomic.Bool
+}
+
 // splice copies bytes both ways until both directions finish.
 func (s *Server) splice(client, remote net.Conn) {
+	st := &spliceState{}
+	st.activity.Store(time.Now().UnixNano())
+	if s.cfg.SpliceTimeout > 0 {
+		st.lifetime = time.Now().Add(s.cfg.SpliceTimeout)
+	}
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		n := copyDirection(remote, client, s.cfg.BufBytes)
+		n := s.copyDirection(remote, client, st)
 		s.Metrics.BytesUpstream.Add(uint64(n))
 	}()
 	go func() {
 		defer wg.Done()
-		n := copyDirection(client, remote, s.cfg.BufBytes)
+		n := s.copyDirection(client, remote, st)
 		s.Metrics.BytesDownstr.Add(uint64(n))
 	}()
 	wg.Wait()
 }
 
-// copyDirection streams src->dst, half-closing dst when src ends, and
-// fully closing both on error so the opposite direction unblocks.
-func copyDirection(dst, src net.Conn, bufBytes int) int64 {
-	buf := make([]byte, bufBytes)
-	n, err := io.CopyBuffer(dst, src, buf)
-	if err != nil {
-		dst.Close()
-		src.Close()
-		return n
+// copyDirection streams src->dst, half-closing dst when src ends, and fully
+// closing both on error so the opposite direction unblocks. Reads and
+// writes carry the splice's idle/lifetime deadline; a read that times out
+// while the *other* direction is still moving bytes is re-armed, so only a
+// splice idle in both directions (or past its lifetime) is torn down.
+func (s *Server) copyDirection(dst, src net.Conn, st *spliceState) int64 {
+	buf := make([]byte, s.cfg.BufBytes)
+	var n int64
+	for {
+		if limit, ok := s.spliceDeadline(st); ok {
+			src.SetReadDeadline(limit)
+		}
+		rn, rerr := src.Read(buf)
+		if rn > 0 {
+			st.activity.Store(time.Now().UnixNano())
+			if limit, ok := s.spliceDeadline(st); ok {
+				dst.SetWriteDeadline(limit)
+			}
+			wn, werr := dst.Write(buf[:rn])
+			n += int64(wn)
+			if werr != nil {
+				if isDeadline(werr) {
+					s.noteSpliceTimeout(st)
+				}
+				dst.Close()
+				src.Close()
+				return n
+			}
+			st.activity.Store(time.Now().UnixNano())
+		}
+		if rerr != nil {
+			if isDeadline(rerr) {
+				if s.stillLive(st) {
+					continue // the other direction is active
+				}
+				s.noteSpliceTimeout(st)
+				dst.Close()
+				src.Close()
+				return n
+			}
+			if errors.Is(rerr, io.EOF) {
+				if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+					cw.CloseWrite()
+				} else {
+					dst.Close()
+				}
+			} else {
+				dst.Close()
+				src.Close()
+			}
+			return n
+		}
 	}
-	if cw, ok := dst.(interface{ CloseWrite() error }); ok {
-		cw.CloseWrite()
-	} else {
-		dst.Close()
+}
+
+// spliceDeadline computes the next absolute I/O deadline for a splice: the
+// earlier of "last activity + IdleTimeout" and the lifetime cap.
+func (s *Server) spliceDeadline(st *spliceState) (time.Time, bool) {
+	var limit time.Time
+	if s.cfg.IdleTimeout > 0 {
+		limit = time.Unix(0, st.activity.Load()).Add(s.cfg.IdleTimeout)
 	}
-	return n
+	if !st.lifetime.IsZero() && (limit.IsZero() || st.lifetime.Before(limit)) {
+		limit = st.lifetime
+	}
+	return limit, !limit.IsZero()
+}
+
+// stillLive reports whether a deadline-expired read should be re-armed:
+// true while the splice saw activity within the idle window and is inside
+// its lifetime.
+func (s *Server) stillLive(st *spliceState) bool {
+	now := time.Now()
+	if !st.lifetime.IsZero() && !now.Before(st.lifetime) {
+		return false
+	}
+	if s.cfg.IdleTimeout <= 0 {
+		return true
+	}
+	return now.Before(time.Unix(0, st.activity.Load()).Add(s.cfg.IdleTimeout))
+}
+
+func (s *Server) noteSpliceTimeout(st *spliceState) {
+	if st.timedOut.CompareAndSwap(false, true) {
+		s.Metrics.IdleClosed.Add(1)
+	}
+}
+
+// isDeadline reports a timeout-flavoured I/O error (os.ErrDeadlineExceeded
+// on real sockets, the lan pipe's timeoutError in tests).
+func isDeadline(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // readDial consumes the client's dial preamble and returns the target.
@@ -295,7 +636,9 @@ func writeError(c net.Conn, err error) {
 
 // DialViaRelay opens a client connection through the relay at relayAddr to
 // target, performing the preamble handshake. The returned conn carries the
-// end-to-end byte stream.
+// end-to-end byte stream. A relay that sheds the dial surfaces as
+// ErrRelayBusy (admission) or ErrRelayDraining (graceful shutdown) — both
+// prompt, explicit verdicts the caller's breaker or fallback can act on.
 func DialViaRelay(ctx context.Context,
 	dial func(ctx context.Context, network, addr string) (net.Conn, error),
 	relayAddr, target string) (net.Conn, error) {
@@ -306,6 +649,14 @@ func DialViaRelay(ctx context.Context,
 	c, err := dial(ctx, "tcp", relayAddr)
 	if err != nil {
 		return nil, err
+	}
+	// The context must bound the whole handshake, not just the dial: a
+	// relay that accepts the connection and then dies (or a listener that
+	// closed with this dial in its backlog) would otherwise hang the
+	// response read forever.
+	deadlined := false
+	if dl, ok := ctx.Deadline(); ok {
+		deadlined = c.SetDeadline(dl) == nil
 	}
 	pre, err := wire.AppendDialPreamble(nil, target)
 	if err != nil {
@@ -328,7 +679,16 @@ func DialViaRelay(ctx context.Context,
 	}
 	switch h.Kind {
 	case wire.KindDialOK:
+		if deadlined {
+			c.SetDeadline(time.Time{})
+		}
 		return c, nil
+	case wire.KindBusy:
+		c.Close()
+		return nil, ErrRelayBusy
+	case wire.KindGoingAway:
+		c.Close()
+		return nil, ErrRelayDraining
 	case wire.KindError:
 		msg := make([]byte, h.Length)
 		io.ReadFull(c, msg)

@@ -35,6 +35,17 @@ const (
 	KindDialOK Kind = 5
 	// KindError carries a relay-side failure message in the payload.
 	KindError Kind = 6
+	// KindBusy is the relay's fast admission-shed answer: the relay is at
+	// capacity (max concurrent connections or accept-rate budget) and this
+	// dial was refused *before* any target dial. Unlike KindError it
+	// carries a machine-readable verdict the client's circuit breaker can
+	// act on without parsing a message; the payload is empty.
+	KindBusy Kind = 7
+	// KindGoingAway is the relay's drain-shed answer: the relay is
+	// gracefully shutting down, finishing established splices but refusing
+	// new dials. Clients should re-route (direct path or another relay)
+	// rather than retry this relay. The payload is empty.
+	KindGoingAway Kind = 8
 )
 
 func (k Kind) String() string {
@@ -51,6 +62,10 @@ func (k Kind) String() string {
 		return "DIAL_OK"
 	case KindError:
 		return "ERROR"
+	case KindBusy:
+		return "BUSY"
+	case KindGoingAway:
+		return "GOING_AWAY"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -140,7 +155,7 @@ func Parse(b []byte) (Header, error) {
 		return Header{}, ErrBadReserved
 	}
 	k := Kind(b[1])
-	if k < KindData || k > KindError {
+	if k < KindData || k > KindGoingAway {
 		return Header{}, ErrBadKind
 	}
 	want := binary.BigEndian.Uint32(b[24:28])

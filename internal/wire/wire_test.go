@@ -53,7 +53,7 @@ func TestParseErrors(t *testing.T) {
 	if _, err := Parse(bad); err != ErrBadKind {
 		t.Fatalf("kind zero: %v", err)
 	}
-	bad[1] = byte(KindError) + 1
+	bad[1] = byte(KindGoingAway) + 1
 	if _, err := Parse(bad); err != ErrBadKind {
 		t.Fatalf("kind high: %v", err)
 	}
@@ -72,7 +72,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for _, k := range []Kind{KindData, KindAck, KindNack, KindDial, KindDialOK, KindError, Kind(77)} {
+	for _, k := range []Kind{KindData, KindAck, KindNack, KindDial, KindDialOK, KindError, KindBusy, KindGoingAway, Kind(77)} {
 		if k.String() == "" {
 			t.Fatalf("kind %d empty string", k)
 		}
@@ -89,7 +89,7 @@ func TestHeaderString(t *testing.T) {
 func TestPropertyRoundTrip(t *testing.T) {
 	f := func(kind uint8, flags uint8, flow, seq uint64, length uint32) bool {
 		h := Header{
-			Kind:   Kind(kind%6) + 1,
+			Kind:   Kind(kind%8) + 1,
 			Flags:  flags & 0x07,
 			FlowID: flow,
 			Seq:    seq,
