@@ -34,11 +34,15 @@ bench:
 # Machine-readable benchmark record (go test -json event stream), one line
 # per event, all packages concatenated — includes the internal/control
 # estimator/detector/parser benchmarks. BENCH_relay.json covers the live
-# relay data plane (splice throughput, admission-shed latency).
+# relay data plane (splice throughput, admission-shed latency);
+# BENCH_obs.json isolates the tracing/metrics instruments (tracer add,
+# span emit enabled vs nil, windowed-quantile observe) so the cost of the
+# observability layer is tracked on its own.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json $(BENCH_PKGS) > BENCH_control.json
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . >> BENCH_control.json
 	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/relay/ > BENCH_relay.json
+	$(GO) test -run '^$$' -bench 'Tracer|Span|WindowQuantile|Counter|Gauge|Histogram|Snapshot' -benchmem -json ./internal/obs/ > BENCH_obs.json
 
 # The worker pool and everything routed through it must be race-clean; the
 # full suite runs under the detector (chaos, relay, and lan tests exercise
@@ -65,8 +69,10 @@ chaos:
 # Live-relay chaos soak: the real data plane (loopback TCP, production
 # Server/DialViaRelay) at 2x admission capacity through the seeded fault
 # proxy, under the race detector. Deterministic fault schedule; asserts the
-# overload contract (explicit sheds, bounded p99, clean drain, no leaks).
-# See internal/chaosnet and EXPERIMENTS.md, "Chaos soak".
+# overload contract (explicit sheds, bounded p99, clean drain, no leaks)
+# and trace completeness (every admitted flow closes a full client+relay
+# span tree; every shed leaves a terminal event). See internal/chaosnet
+# and EXPERIMENTS.md, "Chaos soak".
 soak:
 	$(GO) test -race -run 'TestChaosSoak' -count=1 -v ./internal/chaosnet/
 

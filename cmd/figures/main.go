@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "1 | 2l | 2r | 3 | 4 | 5a | 5b | adaptive | all")
+		fig      = flag.String("fig", "all", "1 | 2l | 2r | 3 | 4 | 5a | 5b | adaptive | detect | all")
 		full     = flag.Bool("full", false, "paper-scale parameters (5 runs, 100MB, 6 latencies)")
 		summary  = flag.Bool("summary", false, "print only §4.2-style mean reductions")
 		packets  = flag.Int("packets", 200_000, "samples for the CDF figures")
@@ -94,6 +94,15 @@ func main() {
 		fmt.Fprintf(out, "Adaptive mean reductions: static=%.2f%% adaptive=%.2f%%\n\n",
 			incastproxy.MeanReduction(pts, incastproxy.ProxyStreamlined)*100,
 			incastproxy.MeanReduction(pts, incastproxy.SchemeAdaptive)*100)
+	}
+	if runFig("detect") && !*summary {
+		pts, err := incastproxy.FigureDetectLatency(sweep)
+		if err != nil {
+			fatal(err)
+		}
+		incastproxy.WriteDetectLatencyTable(out,
+			"Detection-to-resteer latency: adaptive control plane, size axis (windowed quantiles)", pts)
+		fmt.Fprintln(out)
 	}
 	if runFig("4") && !*summary {
 		incastproxy.WriteCDFTable(out, "Figure 4: user-space naive proxy per-packet latency (paper p99=359.17us)",

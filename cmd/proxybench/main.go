@@ -10,6 +10,7 @@
 //	proxybench -points 21  # also print CDF plot points
 //	proxybench -soak       # chaos-soak the live relay path instead
 //	proxybench -soak -soak-conns 64 -soak-capacity 16 -seed 7
+//	proxybench -soak -trace out.json -metrics-dump m.json -log-json
 //
 // -soak drives the real relay data plane (loopback TCP, the production
 // Server/DialViaRelay code) through a seeded fault-injecting proxy at 2x
@@ -20,12 +21,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
 
 	incastproxy "incastproxy"
 	"incastproxy/internal/chaosnet"
+	"incastproxy/internal/cliutil"
 	"incastproxy/internal/obs"
 	"incastproxy/internal/stats"
 	"incastproxy/internal/units"
@@ -44,12 +47,21 @@ func main() {
 		soakCap  = flag.Int("soak-capacity", 8, "relay admission cap (MaxConns) for -soak")
 		soakCons = flag.Int("soak-conns", 0, "concurrent dials for -soak (default 2x capacity)")
 		soakSize = flag.Int("soak-bytes", 64<<10, "echo payload per admitted connection for -soak")
+
+		logJSON     = flag.Bool("log-json", false, "log as JSON lines instead of text")
+		metricsDump = flag.String("metrics-dump", "", "write the final metrics snapshot to this file as JSON on exit")
+		tracePath   = flag.String("trace", "", "with -soak: write a Chrome trace of every relayed flow (one causal span tree per dial) to this file")
 	)
 	flag.Parse()
 
+	log := cliutil.NewLogger(*logJSON)
 	reg := obs.NewRegistry()
 	if *soak {
-		runSoak(reg, *seed, *soakCap, *soakCons, *soakSize, *debugAt)
+		runSoak(soakOpts{
+			reg: reg, log: log, seed: *seed, capacity: *soakCap,
+			conns: *soakCons, payload: *soakSize, debugAt: *debugAt,
+			metricsDump: *metricsDump, tracePath: *tracePath,
+		})
 		return
 	}
 	if *debugAt != "" {
@@ -93,6 +105,10 @@ func main() {
 			incastproxy.Figure5b(*packets, *seed+2))
 	}
 
+	if err := cliutil.DumpMetrics(*metricsDump, "proxybench", *seed, reg); err != nil {
+		log.Error("proxybench: metrics dump failed", "err", err)
+		os.Exit(1)
+	}
 	if *debugAt != "" {
 		fmt.Println("proxybench: run complete; debug endpoint still serving (interrupt to exit)")
 		ch := make(chan os.Signal, 1)
@@ -101,23 +117,42 @@ func main() {
 	}
 }
 
+// soakOpts parameterizes one CLI soak run.
+type soakOpts struct {
+	reg         *obs.Registry
+	log         *slog.Logger
+	seed        int64
+	capacity    int
+	conns       int
+	payload     int
+	debugAt     string
+	metricsDump string
+	tracePath   string
+}
+
 // runSoak is the CLI face of internal/chaosnet's soak harness: the same
 // invariants `make soak` enforces in CI, runnable by hand with a chosen
-// seed and scale.
-func runSoak(reg *obs.Registry, seed int64, capacity, conns, payload int, debugAt string) {
-	if debugAt != "" {
-		_, dl, err := obs.ServeDebug(debugAt, reg)
+// seed and scale. With -trace it records the full causal story — one span
+// tree per relayed flow (client dial, relay admission, target dial,
+// splice) interleaved with breaker/shed instants — as Chrome trace JSON.
+func runSoak(o soakOpts) {
+	if o.debugAt != "" {
+		_, dl, err := obs.ServeDebug(o.debugAt, o.reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "proxybench:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("proxybench: debug endpoint on http://%v/metrics\n", dl.Addr())
 	}
+	var tracer *obs.Tracer
+	if o.tracePath != "" {
+		tracer = obs.NewTracerWithClock(cliutil.WallClock(time.Now))
+	}
 	cfg := chaosnet.SoakConfig{
-		Seed:         seed,
-		Capacity:     capacity,
-		Conns:        conns,
-		PayloadBytes: payload,
+		Seed:         o.seed,
+		Capacity:     o.capacity,
+		Conns:        o.conns,
+		PayloadBytes: o.payload,
 		Faults: chaosnet.Faults{
 			DelayProb:   0.05,
 			DelayMin:    time.Millisecond,
@@ -132,7 +167,9 @@ func runSoak(reg *obs.Registry, seed int64, capacity, conns, payload int, debugA
 		},
 		IdleTimeout: 2 * time.Second,
 		Now:         time.Now,
-		Registry:    reg,
+		Registry:    o.reg,
+		Tracer:      tracer,
+		Logger:      o.log,
 	}
 	res, err := chaosnet.RunSoak(cfg)
 	if err != nil {
@@ -143,6 +180,14 @@ func runSoak(reg *obs.Registry, seed int64, capacity, conns, payload int, debugA
 		res.Conns, res.Admitted, res.Shed, res.Faulted, res.Hung, res.P99)
 	fmt.Printf("soak: server accepted=%d sheds=%d idleClosed=%d\n",
 		res.ServerAccepted, res.ServerSheds, res.IdleClosed)
+	if err := cliutil.DumpMetrics(o.metricsDump, "proxybench -soak", o.seed, o.reg); err != nil {
+		fmt.Fprintln(os.Stderr, "proxybench:", err)
+		os.Exit(1)
+	}
+	if err := cliutil.DumpTrace(o.tracePath, tracer); err != nil {
+		fmt.Fprintln(os.Stderr, "proxybench:", err)
+		os.Exit(1)
+	}
 	if err := res.Check(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "proxybench:", err)
 		os.Exit(1)

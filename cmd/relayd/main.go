@@ -10,6 +10,8 @@
 //	relayd -mode proxy  -listen :7000                      # the relay
 //	relayd -mode proxy  -listen :7000 -max-conns 512 -accept-rate 2000 \
 //	       -idle-timeout 2m -drain-timeout 30s             # hardened relay
+//	relayd -mode proxy  -listen :7000 -log-json \
+//	       -trace trace.json -metrics-dump metrics.json    # observable relay
 //	relayd -mode sink   -listen :7001                      # byte sink
 //	relayd -mode source -relay host:7000 -target host:7001 -size 100MB -conns 4
 //	relayd -mode source -target host:7001 -size 100MB      # direct (no relay)
@@ -25,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -56,6 +59,10 @@ func main() {
 		idleTimeout   = flag.Duration("idle-timeout", 0, "tear down a splice idle in both directions this long (proxy; 0 = never)")
 		spliceTimeout = flag.Duration("splice-timeout", 0, "cap a splice's total lifetime (proxy; 0 = unlimited)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT (proxy)")
+
+		logJSON     = flag.Bool("log-json", false, "log as JSON lines instead of text")
+		metricsDump = flag.String("metrics-dump", "", "write the final metrics snapshot to this file as JSON on exit (proxy)")
+		tracePath   = flag.String("trace", "", "record a Chrome trace of every relayed flow and write it to this file on exit (proxy)")
 	)
 	flag.Parse()
 
@@ -71,8 +78,11 @@ func main() {
 				AcceptBurst:   *acceptBurst,
 				IdleTimeout:   *idleTimeout,
 				SpliceTimeout: *spliceTimeout,
+				Logger:        cliutil.NewLogger(*logJSON),
 			},
 			drainTimeout: *drainTimeout,
+			metricsDump:  *metricsDump,
+			tracePath:    *tracePath,
 		})
 	case "sink":
 		runSink(*listen)
@@ -93,6 +103,8 @@ type proxyOpts struct {
 	debugAddr    string
 	cfg          relay.Config
 	drainTimeout time.Duration
+	metricsDump  string
+	tracePath    string
 }
 
 func runProxy(o proxyOpts) {
@@ -101,34 +113,53 @@ func runProxy(o proxyOpts) {
 		fatal(err)
 	}
 	cfg := o.cfg
+	log := cfg.Logger
 	cfg.Registry = obs.NewRegistry()
+	if o.tracePath != "" {
+		cfg.Tracer = obs.NewTracerWithClock(cliutil.WallClock(time.Now))
+	}
 	if o.allowPrefix != "" {
 		cfg.AllowTarget = func(addr string) bool { return strings.HasPrefix(addr, o.allowPrefix) }
 	}
 	srv := relay.New(cfg)
-	fmt.Printf("relayd: proxy listening on %v (max-conns=%d accept-rate=%g)\n",
-		l.Addr(), cfg.MaxConns, cfg.AcceptRate)
+	log.Info("relayd: proxy listening", "addr", l.Addr().String(),
+		"max_conns", cfg.MaxConns, "accept_rate", cfg.AcceptRate)
 	if o.debugAddr != "" {
 		_, dl, err := obs.ServeDebug(o.debugAddr, cfg.Registry)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("relayd: debug endpoint on http://%v/metrics (pprof under /debug/pprof/)\n", dl.Addr())
+		log.Info("relayd: debug endpoint up",
+			"metrics", fmt.Sprintf("http://%v/metrics", dl.Addr()),
+			"pprof", fmt.Sprintf("http://%v/debug/pprof/", dl.Addr()))
 	}
 
-	go reportMetrics(srv)
+	// dump flushes the -metrics-dump and -trace files; every exit path
+	// (clean drain, drain timeout, hard stop) runs it so the observability
+	// artifacts survive however the process goes down.
+	dump := func() {
+		if err := cliutil.DumpMetrics(o.metricsDump, "relayd -mode proxy", 0, cfg.Registry); err != nil {
+			log.Error("relayd: metrics dump failed", "err", err)
+		}
+		if err := cliutil.DumpTrace(o.tracePath, cfg.Tracer); err != nil {
+			log.Error("relayd: trace dump failed", "err", err)
+		}
+	}
+
+	go reportMetrics(srv, log)
 	sigSeen := make(chan struct{})
 	drained := make(chan error, 1)
 	go func() {
 		ch := make(chan os.Signal, 2)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		sig := <-ch
-		fmt.Printf("relayd: %v: draining (deadline %v; signal again to hard-stop)\n", sig, o.drainTimeout)
+		log.Info("relayd: draining", "signal", sig.String(), "deadline", o.drainTimeout.String())
 		close(sigSeen)
 		go func() {
 			<-ch
-			fmt.Println("relayd: second signal: hard stop")
+			log.Warn("relayd: second signal: hard stop")
 			srv.Close()
+			dump()
 			os.Exit(130)
 		}()
 		drained <- srv.Drain(o.drainTimeout)
@@ -140,22 +171,25 @@ func runProxy(o proxyOpts) {
 	// stop) began; wait for the drain's verdict rather than racing it.
 	select {
 	case <-sigSeen:
-		if err := <-drained; err != nil {
-			fmt.Fprintln(os.Stderr, "relayd:", err)
+		err := <-drained
+		dump()
+		if err != nil {
+			log.Error("relayd: drain deadline exceeded", "err", err)
 			os.Exit(exitDrainTimeout)
 		}
-		fmt.Println("relayd: drained cleanly")
+		log.Info("relayd: drained cleanly")
 	default:
+		dump()
 	}
 }
 
-func reportMetrics(srv *relay.Server) {
+func reportMetrics(srv *relay.Server, log *slog.Logger) {
 	for range time.Tick(5 * time.Second) {
-		fmt.Printf("relayd: conns=%d active=%d up=%dB down=%dB dialErrs=%d shedBusy=%d shedGoAway=%d idleClosed=%d\n",
-			srv.Metrics.AcceptedConns.Load(), srv.Metrics.ActiveConns.Load(),
-			srv.Metrics.BytesUpstream.Load(), srv.Metrics.BytesDownstr.Load(),
-			srv.Metrics.DialErrors.Load(), srv.Metrics.ShedBusy.Load(),
-			srv.Metrics.ShedGoingAway.Load(), srv.Metrics.IdleClosed.Load())
+		log.Info("relayd: stats",
+			"conns", srv.Metrics.AcceptedConns.Load(), "active", srv.Metrics.ActiveConns.Load(),
+			"up_bytes", srv.Metrics.BytesUpstream.Load(), "down_bytes", srv.Metrics.BytesDownstr.Load(),
+			"dial_errs", srv.Metrics.DialErrors.Load(), "shed_busy", srv.Metrics.ShedBusy.Load(),
+			"shed_goaway", srv.Metrics.ShedGoingAway.Load(), "idle_closed", srv.Metrics.IdleClosed.Load())
 	}
 }
 

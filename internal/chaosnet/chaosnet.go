@@ -99,6 +99,8 @@ type Proxy struct {
 	faults  Faults
 	Metrics Metrics
 
+	tracer *obs.Tracer
+
 	mu       sync.Mutex
 	closed   bool
 	nextID   int64
@@ -106,6 +108,11 @@ type Proxy struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 }
+
+// SetTracer attaches a tracer: injected faults (resets, stalls, delays)
+// become instant events on the decision timeline, timestamped by the
+// tracer's injected clock. Call before Serve.
+func (p *Proxy) SetTracer(tr *obs.Tracer) { p.tracer = tr }
 
 // New returns a Proxy that forwards accepted connections to target over
 // dial (default net.Dialer), injecting per faults. reg may be nil.
@@ -291,10 +298,12 @@ func (p *Proxy) inject(dst, src net.Conn, b []byte, offset *int64, pl *plan) err
 		if pl.stallAt >= 0 && pl.stallAt < *offset+int64(len(chunk)) {
 			pl.stallAt = -1
 			p.Metrics.Stalls.Add(1)
+			p.tracer.Instant(p.tracer.Now(), "chaos", "chaos.stall", 0)
 			p.faults.Sleep(p.faults.StallFor)
 		}
 		if pl.resetAt >= 0 && pl.resetAt < *offset+int64(len(chunk)) {
 			p.Metrics.Resets.Add(1)
+			p.tracer.Instant(p.tracer.Now(), "chaos", "chaos.reset", 0)
 			reset(dst)
 			reset(src)
 			return errInjectedReset

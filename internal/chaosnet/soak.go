@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -61,6 +62,16 @@ type SoakConfig struct {
 	Now func() time.Time
 	// Registry, if set, collects relay_* and chaos_* instruments.
 	Registry *obs.Registry
+	// Tracer, if set, records the full causal span tree of every dial —
+	// client.dial/client.transfer client-side, relay.conn/relay.dial/
+	// relay.splice server-side, joined by the context in the dial
+	// preamble — plus chaos-fault and shed instants. Create it with
+	// obs.NewTracerWithClock (cliutil.WallClock adapts cfg.Now). Check
+	// then enforces the trace-completeness invariant.
+	Tracer *obs.Tracer
+	// Logger, if set, receives the relay's structured per-connection log
+	// lines (trace IDs included), so a soak's logs correlate with its trace.
+	Logger *slog.Logger
 }
 
 // SoakResult is one run's outcome tally.
@@ -78,6 +89,13 @@ type SoakResult struct {
 	ServerAccepted uint64
 	IdleClosed     uint64
 	DrainErr       error // non-nil if the post-soak drain timed out
+
+	// Trace accounting (populated when SoakConfig.Tracer was set): the
+	// trace IDs of flows the client saw admitted / explicitly shed, and
+	// the tracer itself for Check's completeness invariant and export.
+	AdmittedTraces []uint64
+	ShedTraces     []uint64
+	Tracer         *obs.Tracer
 }
 
 // Check asserts the overload contract on a finished run.
@@ -111,6 +129,36 @@ func (r *SoakResult) Check(cfg SoakConfig) error {
 	}
 	if r.DrainErr != nil {
 		return fmt.Errorf("soak: post-soak drain: %w", r.DrainErr)
+	}
+	// Trace completeness: every admitted dial yields a well-formed causal
+	// span tree — client dial and transfer plus the relay's conn, target
+	// dial, and splice, all closed (the drain finished, so no span may
+	// still be open) — and every shed dial yields a terminal shed event.
+	if r.Tracer != nil {
+		sums := r.Tracer.Summaries()
+		for _, id := range r.AdmittedTraces {
+			s := sums[id]
+			if s == nil {
+				return fmt.Errorf("soak: admitted flow %s recorded no trace", obs.IDString(id))
+			}
+			if s.Open != 0 {
+				return fmt.Errorf("soak: trace %s left %d spans open after drain", obs.IDString(id), s.Open)
+			}
+			for _, name := range []string{"client.dial", "client.transfer", "relay.conn", "relay.dial", "relay.splice"} {
+				if s.Spans[name] == 0 {
+					return fmt.Errorf("soak: trace %s has no completed %s span", obs.IDString(id), name)
+				}
+			}
+		}
+		for _, id := range r.ShedTraces {
+			s := sums[id]
+			if s == nil || s.Instants["client.shed"] == 0 {
+				return fmt.Errorf("soak: shed flow %s lacks a terminal shed event", obs.IDString(id))
+			}
+			if s.Open != 0 {
+				return fmt.Errorf("soak: shed trace %s left %d spans open", obs.IDString(id), s.Open)
+			}
+		}
 	}
 	return nil
 }
@@ -178,6 +226,8 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		MaxConns:    cfg.Capacity,
 		IdleTimeout: cfg.IdleTimeout,
 		Registry:    cfg.Registry,
+		Tracer:      cfg.Tracer,
+		Logger:      cfg.Logger,
 	})
 	go srv.Serve(relayL)
 
@@ -188,9 +238,10 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		return nil, err
 	}
 	chaos := New(relayL.Addr().String(), nil, cfg.Faults, cfg.Registry)
+	chaos.SetTracer(cfg.Tracer)
 	go chaos.Serve(chaosL)
 
-	res := &SoakResult{Conns: cfg.Conns}
+	res := &SoakResult{Conns: cfg.Conns, Tracer: cfg.Tracer}
 	var mu sync.Mutex
 	fcts := make([]time.Duration, 0, cfg.Conns)
 	var wg sync.WaitGroup
@@ -198,15 +249,21 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outcome, fct := cfg.runOne(chaosL.Addr().String(), sinkL.Addr().String())
+			outcome, fct, trace := cfg.runOne(i, chaosL.Addr().String(), sinkL.Addr().String())
 			mu.Lock()
 			defer mu.Unlock()
 			switch outcome {
 			case outcomeAdmitted:
 				res.Admitted++
 				fcts = append(fcts, fct)
+				if trace != 0 {
+					res.AdmittedTraces = append(res.AdmittedTraces, trace)
+				}
 			case outcomeShed:
 				res.Shed++
+				if trace != 0 {
+					res.ShedTraces = append(res.ShedTraces, trace)
+				}
 			case outcomeFaulted:
 				res.Faulted++
 			case outcomeHung:
@@ -240,10 +297,30 @@ const (
 	outcomeHung
 )
 
+// Span derivation labels for the soak's client-side spans. Distinct from
+// the relay server's labels (1-3), so one flow's client and server span
+// IDs never collide.
+const (
+	// soakTraceLabel namespaces soak trace IDs within the run seed, away
+	// from the chaos proxy's per-connection fault-plan seeds.
+	soakTraceLabel int64 = 0x74726163 // "trac"
+	// clientSpanTransfer keys the client.transfer child span.
+	clientSpanTransfer int64 = 10
+)
+
 // runOne is one client's journey: dial through the chaos proxy, and on
 // admission push the payload and read the echo back under a deadline.
-func (cfg *SoakConfig) runOne(chaosAddr, sinkAddr string) (outcome, time.Duration) {
+// The returned trace ID is 0 when the run is untraced.
+func (cfg *SoakConfig) runOne(i int, chaosAddr, sinkAddr string) (outcome, time.Duration, uint64) {
 	start := cfg.Now()
+	tr := cfg.Tracer
+	var sc obs.SpanContext
+	var root *obs.Span
+	if tr != nil {
+		sc = obs.NewSpanContext(cfg.Seed, soakTraceLabel, int64(i))
+		root = tr.StartRoot(tr.Now(), "client", "client.dial", sc,
+			obs.Arg{Key: "conn", Val: fmt.Sprint(i)})
+	}
 	dial := func(ctx context.Context, network, addr string) (net.Conn, error) {
 		var d net.Dialer
 		c, err := d.DialContext(ctx, network, addr)
@@ -255,16 +332,28 @@ func (cfg *SoakConfig) runOne(chaosAddr, sinkAddr string) (outcome, time.Duratio
 		c.SetDeadline(start.Add(cfg.DialBound))
 		return c, nil
 	}
-	conn, err := relay.DialViaRelay(context.Background(), dial, chaosAddr, sinkAddr)
+	conn, err := relay.DialViaRelaySpan(context.Background(), dial, chaosAddr, sinkAddr, sc)
 	if err != nil {
 		switch {
 		case relay.IsShed(err):
-			return outcomeShed, 0
+			// The relay sheds before reading the preamble, so the shed
+			// never reaches the server-side trace: the client records
+			// the terminal shed event on its own dial span.
+			root.Annotate(tr.Now(), "client.shed")
+			root.End(tr.Now(), obs.Arg{Key: "outcome", Val: "shed"})
+			return outcomeShed, 0, sc.Trace
 		case isTimeout(err):
-			return outcomeHung, 0
+			root.End(tr.Now(), obs.Arg{Key: "outcome", Val: "hung"})
+			return outcomeHung, 0, sc.Trace
 		default:
-			return outcomeFaulted, 0
+			root.End(tr.Now(), obs.Arg{Key: "outcome", Val: "faulted"})
+			return outcomeFaulted, 0, sc.Trace
 		}
+	}
+	root.End(tr.Now(), obs.Arg{Key: "outcome", Val: "admitted"})
+	var tf *obs.Span
+	if tr != nil {
+		tf = tr.StartSpan(tr.Now(), "client", "client.transfer", sc, clientSpanTransfer)
 	}
 	defer conn.Close()
 	conn.SetDeadline(cfg.Now().Add(cfg.TransferBound))
@@ -280,19 +369,24 @@ func (cfg *SoakConfig) runOne(chaosAddr, sinkAddr string) (outcome, time.Duratio
 	got := make([]byte, len(payload))
 	if _, err := io.ReadFull(conn, got); err != nil {
 		if isTimeout(err) {
-			return outcomeHung, 0
+			tf.End(tr.Now(), obs.Arg{Key: "outcome", Val: "hung"})
+			return outcomeHung, 0, sc.Trace
 		}
-		return outcomeFaulted, 0
+		tf.End(tr.Now(), obs.Arg{Key: "outcome", Val: "faulted"})
+		return outcomeFaulted, 0, sc.Trace
 	}
 	if werr := <-done; werr != nil {
-		return outcomeFaulted, 0
+		tf.End(tr.Now(), obs.Arg{Key: "outcome", Val: "faulted"})
+		return outcomeFaulted, 0, sc.Trace
 	}
 	for i := range got {
 		if got[i] != payload[i] {
-			return outcomeFaulted, 0
+			tf.End(tr.Now(), obs.Arg{Key: "outcome", Val: "corrupt"})
+			return outcomeFaulted, 0, sc.Trace
 		}
 	}
-	return outcomeAdmitted, cfg.Now().Sub(start)
+	tf.End(tr.Now(), obs.Arg{Key: "outcome", Val: "ok"})
+	return outcomeAdmitted, cfg.Now().Sub(start), sc.Trace
 }
 
 func isTimeout(err error) bool {

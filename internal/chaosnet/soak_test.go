@@ -18,6 +18,7 @@ import (
 func TestChaosSoak(t *testing.T) {
 	defer cliutil.LeakCheck(t)()
 	reg := obs.NewRegistry()
+	tracer := obs.NewTracerWithClock(cliutil.WallClock(time.Now))
 	cfg := SoakConfig{
 		Seed:     20250808,
 		Capacity: 8,
@@ -40,6 +41,7 @@ func TestChaosSoak(t *testing.T) {
 		IdleTimeout:   2 * time.Second,
 		Now:           time.Now,
 		Registry:      reg,
+		Tracer:        tracer,
 	}
 	res, err := RunSoak(cfg)
 	if err != nil {
@@ -48,8 +50,15 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("soak: admitted=%d shed=%d faulted=%d hung=%d p99=%v serverSheds=%d accepted=%d idleClosed=%d",
 		res.Admitted, res.Shed, res.Faulted, res.Hung, res.P99,
 		res.ServerSheds, res.ServerAccepted, res.IdleClosed)
+	// Check includes the trace-completeness invariant: every admitted
+	// dial must have a full client+relay span tree, every shed a
+	// terminal shed event.
 	if err := res.Check(cfg); err != nil {
 		t.Fatal(err)
+	}
+	if len(res.AdmittedTraces) != res.Admitted || len(res.ShedTraces) != res.Shed {
+		t.Fatalf("trace accounting: %d/%d admitted, %d/%d shed",
+			len(res.AdmittedTraces), res.Admitted, len(res.ShedTraces), res.Shed)
 	}
 	// At 2x capacity the admission cap must actually bite: the server shed
 	// at least one dial, and it did so explicitly.

@@ -1,0 +1,55 @@
+package cliutil
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+
+	"incastproxy/internal/obs"
+)
+
+// NewLogger builds the standard CLI logger: slog text to stderr, or JSON
+// when jsonFormat is set (one object per line, machine-ingestable). Both
+// binaries (relayd, proxybench) route their operational log lines — with
+// trace IDs where a flow is in scope — through this.
+func NewLogger(jsonFormat bool) *slog.Logger {
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// DumpMetrics writes a registry's final snapshot to path as deterministic
+// manifest JSON (the -metrics-dump flag). label becomes the manifest's
+// config string so the dump self-describes which invocation produced it.
+func DumpMetrics(path, label string, seed int64, reg *obs.Registry) error {
+	if path == "" || reg == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics dump: %w", err)
+	}
+	defer f.Close()
+	if err := obs.NewManifest(seed, label, reg.Snapshot()).WriteJSON(f); err != nil {
+		return fmt.Errorf("metrics dump: %w", err)
+	}
+	return f.Close()
+}
+
+// DumpTrace writes a tracer's events to path as Chrome trace-event JSON
+// (the -trace flag; load in Perfetto / chrome://tracing).
+func DumpTrace(path string, tr *obs.Tracer) error {
+	if path == "" || tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace dump: %w", err)
+	}
+	defer f.Close()
+	if err := tr.WriteChromeTrace(f); err != nil {
+		return fmt.Errorf("trace dump: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,27 @@
+package cliutil
+
+import (
+	"sync"
+	"time"
+
+	"incastproxy/internal/units"
+)
+
+// WallClock adapts a wall clock to an obs tracer clock: picosecond
+// timestamps relative to the first read, so live-path traces use the same
+// time base (and fit int64) as virtual-time sim traces. Pass the result
+// to obs.NewTracerWithClock; the obs package itself never reads a clock,
+// this adapter is where the wall-time decision lives.
+func WallClock(now func() time.Time) func() units.Time {
+	var mu sync.Mutex
+	var epoch time.Time
+	return func() units.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		if epoch.IsZero() {
+			epoch = now()
+			return 0
+		}
+		return units.Time(units.FromStd(now().Sub(epoch)))
+	}
+}

@@ -86,10 +86,13 @@ type Controller struct {
 	lastSteerAt units.Time
 	lastAction  Action
 
+	tracer *obs.Tracer
+
 	mTicks, mOnsets, mSteers   *obs.Counter
 	mSteerProxy, mSteerDirect  *obs.Counter
 	mFlaps, mVetoed, mDeferred *obs.Counter
 	mDetectLatency             *obs.Histogram
+	mSteerLatency              *obs.WindowQuantile
 }
 
 // NewController builds a controller with fresh path estimators. reg may be
@@ -111,6 +114,7 @@ func NewController(cfg Config, reg *obs.Registry) *Controller {
 		mDeferred:    reg.Counter("control_steer_deferred_total"),
 		mDetectLatency: reg.Histogram("control_detection_latency_us",
 			obs.DefaultDurationBucketsMicros()),
+		mSteerLatency: reg.Window("control_detect_to_steer_us", 0, obs.DefaultWindowSize),
 	}
 	if reg != nil {
 		reg.GaugeFunc("control_route", func() int64 { return int64(c.route) })
@@ -119,6 +123,11 @@ func NewController(cfg Config, reg *obs.Registry) *Controller {
 	}
 	return c
 }
+
+// SetTracer attaches a tracer: detector onsets/decays and steering
+// decisions become instant events on the "control" decision-timeline
+// track, interleaved with the data-plane flow spans. Call before Start.
+func (c *Controller) SetTracer(tr *obs.Tracer) { c.tracer = tr }
 
 // WatchReceiverQueue taps the receiver-side bottleneck queue (the direct
 // path's congestion point). Call before Start.
@@ -194,8 +203,13 @@ func (c *Controller) tick(e *sim.Engine) {
 	if c.proxySig != nil {
 		c.proxySig.Sample(now)
 	}
-	if c.recvSig != nil && c.det.Step(now, c.recvSig) && c.det.Phase() == Incast {
-		c.mOnsets.Inc()
+	if c.recvSig != nil && c.det.Step(now, c.recvSig) {
+		if c.det.Phase() == Incast {
+			c.mOnsets.Inc()
+			c.tracer.Instant(now, "control", "detector.onset", 0)
+		} else {
+			c.tracer.Instant(now, "control", "detector.decay", 0)
+		}
 	}
 	c.evaluate(e)
 	if next := now.Add(c.cfg.SamplePeriod); next <= c.until {
@@ -213,6 +227,8 @@ func (c *Controller) evaluate(e *sim.Engine) {
 		if !incast && c.cfg.OverflowBytes > 0 && c.announced > c.cfg.OverflowBytes {
 			if c.det.ForceOnset(now) {
 				c.mOnsets.Inc()
+				c.tracer.Instant(now, "control", "detector.onset", 0,
+					obs.Arg{Key: "reason", Val: "announced-overflow"})
 			}
 			incast = true
 			reason = "announced-overflow"
@@ -287,12 +303,17 @@ func (c *Controller) steer(e *sim.Engine, a Action, reason string) {
 	c.switches++
 	c.steers = append(c.steers, Steer{At: now, Action: a, Reason: reason})
 	c.mSteers.Inc()
+	c.tracer.Instant(now, "control", a.String(), 0, obs.Arg{Key: "reason", Val: reason})
 	switch a {
 	case SteerProxy:
 		c.route = RouteProxy
 		c.mSteerProxy.Inc()
 		if oa := c.det.OnsetAt(); oa != 0 && now >= oa {
-			c.mDetectLatency.Observe(int64(now.Sub(oa) / units.Microsecond))
+			us := int64(now.Sub(oa) / units.Microsecond)
+			c.mDetectLatency.Observe(us)
+			// The detection-to-resteer latency figure reads these
+			// windowed quantiles from the run manifest.
+			c.mSteerLatency.Observe(now, us)
 		}
 	case SteerDirect:
 		c.route = RouteDirect

@@ -56,6 +56,57 @@ func BenchmarkTracerInstant(b *testing.B) {
 	}
 }
 
+func BenchmarkTracerInstantNil(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant(0, "flow", "nack", int64(i))
+	}
+}
+
+// BenchmarkSpanEmit is the enabled-path cost of one full span (root begin
+// + end, including ID derivation and the trace/span args) — what a traced
+// relay pays per connection, not per byte.
+func BenchmarkSpanEmit(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot(0, "client", "client.dial", NewSpanContext(int64(i), 1))
+		sp.End(0)
+	}
+}
+
+// BenchmarkSpanEmitNil is the disabled-path cost: a nil tracer must make
+// span instrumentation free (0 allocs) so the relay hot path is unchanged
+// when tracing is off.
+func BenchmarkSpanEmitNil(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot(0, "client", "client.dial", SpanContext{Trace: 1, Span: 1})
+		sp.End(0)
+	}
+}
+
+func BenchmarkWindowQuantileObserve(b *testing.B) {
+	w := NewWindowQuantile(0, DefaultWindowSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Observe(0, int64(i))
+	}
+}
+
+func BenchmarkWindowQuantileQuery(b *testing.B) {
+	w := NewWindowQuantile(0, DefaultWindowSize)
+	for i := 0; i < DefaultWindowSize; i++ {
+		w.Observe(0, int64(i*37%1000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Quantile(0.99)
+	}
+}
+
 func BenchmarkSnapshot(b *testing.B) {
 	r := NewRegistry()
 	for i := 0; i < 64; i++ {

@@ -1,0 +1,63 @@
+package obs
+
+// Golden test for the Prometheus text exposition: one registry covering
+// every rendering rule — plain and labeled counters (one TYPE line per
+// base name), gauges, windowed-quantile series, histograms with
+// cumulative buckets, and label-value escaping — compared byte-for-byte.
+// Any format drift (ordering, TYPE dedup, escaping) fails here first.
+
+import (
+	"testing"
+
+	"incastproxy/internal/units"
+)
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`relay_sheds_total{verdict="busy"}`).Add(2)
+	r.Counter(LabeledName("relay_sheds_total", "verdict", `a"b\`)).Add(4)
+	r.Gauge("active").Set(3)
+	r.Gauge(LabeledName("note", "k", "x\ny")).Set(7)
+	r.Histogram("lat_us", []int64{10, 100}).Observe(50)
+	w := r.Window("dial_us", 0, 8)
+	w.Observe(units.Time(1), 10)
+	w.Observe(units.Time(2), 20)
+	w.Observe(units.Time(3), 30)
+
+	const want = `# TYPE dial_us_count counter
+dial_us_count 3
+# TYPE relay_sheds_total counter
+relay_sheds_total{verdict="a\"b\\"} 4
+relay_sheds_total{verdict="busy"} 2
+# TYPE active gauge
+active 3
+# TYPE dial_us gauge
+dial_us{quantile="0.5"} 20
+dial_us{quantile="0.99"} 30
+dial_us{quantile="0.999"} 30
+# TYPE note gauge
+note{k="x\ny"} 7
+# TYPE lat_us histogram
+lat_us_bucket{le="10"} 0
+lat_us_bucket{le="100"} 1
+lat_us_bucket{le="+Inf"} 1
+lat_us_sum 50
+lat_us_count 1
+`
+	if got := r.Snapshot().Text(); got != want {
+		t.Fatalf("exposition drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabeledNameEscaping(t *testing.T) {
+	for _, tc := range []struct{ val, want string }{
+		{"plain", `m{k="plain"}`},
+		{`back\slash`, `m{k="back\\slash"}`},
+		{`qu"ote`, `m{k="qu\"ote"}`},
+		{"new\nline", `m{k="new\nline"}`},
+	} {
+		if got := LabeledName("m", "k", tc.val); got != tc.want {
+			t.Fatalf("LabeledName(%q) = %q, want %q", tc.val, got, tc.want)
+		}
+	}
+}

@@ -11,11 +11,20 @@
 //     snapshot time — zero hot-path cost. Snapshots are sorted by name, so
 //     the same run state always serializes to the same bytes.
 //
-//   - Tracer: an append-only log of virtual-time events (flow lifecycle,
-//     queue trims/marks/drops, fault windows, cwnd trajectories) exportable
-//     as Chrome trace-event JSON (loadable in Perfetto or chrome://tracing)
-//     and as CSV. Events are recorded in engine execution order; since the
-//     simulator is deterministic for a seed, so is the export.
+//   - Tracer: an append-only, concurrency-safe log of events (flow
+//     lifecycle, queue trims/marks/drops, fault windows, cwnd trajectories,
+//     causal flow spans) exportable as Chrome trace-event JSON (loadable in
+//     Perfetto or chrome://tracing) and as CSV. Timestamps come either from
+//     the caller (virtual time, the simulator) or from a clock injected via
+//     NewTracerWithClock (live paths); both produce the same export format,
+//     so a sim trace and a relay soak trace open in the same viewer. Span
+//     contexts (span.go) are derived with rng.DeriveSeed, so seeded-run
+//     traces replay with identical IDs.
+//
+//   - WindowQuantile: sliding-window streaming quantiles (p50/p99/p999)
+//     registered through Registry.Window and exported on /metrics as
+//     {quantile="..."}-labeled gauge series — the live-tail counterpart to
+//     the fixed-bucket histograms.
 //
 //   - Debug surface: an http.ServeMux with net/http/pprof, a Prometheus
 //     text /metrics endpoint, and a JSON snapshot, served by relayd and
@@ -23,7 +32,8 @@
 //
 // Determinism contract: nothing in this package reads the wall clock or
 // any other ambient nondeterminism on a recording path. Timestamps always
-// come from the caller (simulated time). A seeded run instrumented through
+// come from the caller (simulated time) or from a caller-injected clock
+// (live wall-time paths own that choice). A seeded run instrumented through
 // this package therefore produces byte-identical snapshots and trace
 // exports on every execution — the property the determinism tests in
 // internal/workload assert, and the property that makes a metrics snapshot

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"incastproxy/internal/units"
 )
 
 // Counter is a monotonically increasing uint64 metric. All methods are safe
@@ -165,6 +167,7 @@ type Registry struct {
 	gauges       map[string]*Gauge
 	maxes        map[string]*MaxGauge
 	hists        map[string]*Histogram
+	windows      map[string]*WindowQuantile
 	counterFuncs map[string]func() uint64
 	gaugeFuncs   map[string]func() int64
 }
@@ -176,6 +179,7 @@ func NewRegistry() *Registry {
 		gauges:       make(map[string]*Gauge),
 		maxes:        make(map[string]*MaxGauge),
 		hists:        make(map[string]*Histogram),
+		windows:      make(map[string]*WindowQuantile),
 		counterFuncs: make(map[string]func() uint64),
 		gaugeFuncs:   make(map[string]func() int64),
 	}
@@ -243,6 +247,24 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Window returns the sliding-window quantile tracker with the given name,
+// creating it with the given bounds on first use (later calls reuse the
+// existing window). Snapshots export it as gauge series labeled
+// {quantile="0.5"|"0.99"|"0.999"} plus a lifetime _count counter.
+func (r *Registry) Window(name string, window units.Duration, size int) *WindowQuantile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.windows[name]
+	if !ok {
+		w = NewWindowQuantile(window, size)
+		r.windows[name] = w
+	}
+	return w
 }
 
 // CounterFunc registers a lazy counter: fn is invoked only at snapshot time.
@@ -315,6 +337,13 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, m := range r.maxes {
 		s.Gauges = append(s.Gauges, NamedValue{name, m.Load()})
 	}
+	for name, w := range r.windows {
+		for _, q := range windowQuantiles {
+			v, _ := w.Quantile(q.q)
+			s.Gauges = append(s.Gauges, NamedValue{LabeledName(name, "quantile", q.label), v})
+		}
+		s.Counters = append(s.Counters, NamedValue{name + "_count", int64(w.Total())})
+	}
 	for name, h := range r.hists {
 		hv := HistogramValue{
 			Name:   name,
@@ -358,6 +387,37 @@ func baseName(name string) string {
 		return name[:i]
 	}
 	return name
+}
+
+// windowQuantiles are the quantile series every WindowQuantile exports.
+var windowQuantiles = []struct {
+	q     float64
+	label string
+}{{0.5, "0.5"}, {0.99, "0.99"}, {0.999, "0.999"}}
+
+// LabeledName renders base{key="val"} with the Prometheus text-format
+// label-value escaping (backslash, double quote, newline). Use it when
+// registering an instrument whose name carries a label pair.
+func LabeledName(base, key, val string) string {
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for i := 0; i < len(val); i++ {
+		switch c := val[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteString(`"}`)
+	return b.String()
 }
 
 // WriteText serializes the snapshot in the Prometheus text exposition

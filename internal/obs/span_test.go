@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"incastproxy/internal/units"
+)
+
+func TestSpanContextDeterministic(t *testing.T) {
+	a := NewSpanContext(42, 7)
+	b := NewSpanContext(42, 7)
+	if a != b {
+		t.Fatalf("same seed+labels produced different contexts: %v vs %v", a, b)
+	}
+	if !a.Valid() {
+		t.Fatal("derived context must be valid")
+	}
+	if c := NewSpanContext(42, 8); c == a {
+		t.Fatal("different labels must produce different contexts")
+	}
+}
+
+// TestChildAgreement is the cross-process invariant the relay relies on:
+// both ends of a wire hop hold the same parent context (the client sent
+// it in the dial preamble) and must independently derive identical child
+// span IDs from the same label.
+func TestChildAgreement(t *testing.T) {
+	parent := NewSpanContext(1, 2, 3)
+	clientSide := parent.Child(5)
+	serverSide := SpanContext{Trace: parent.Trace, Span: parent.Span}.Child(5)
+	if clientSide != serverSide {
+		t.Fatalf("child derivation disagrees across the hop: %v vs %v", clientSide, serverSide)
+	}
+	if clientSide.Trace != parent.Trace {
+		t.Fatal("child must stay in the parent's trace")
+	}
+	if clientSide.Span == parent.Span {
+		t.Fatal("child must get its own span ID")
+	}
+}
+
+func TestSpanTreeSummaries(t *testing.T) {
+	tr := NewTracer()
+	sc := NewSpanContext(9, 1)
+	root := tr.StartRoot(10, "client", "client.dial", sc)
+	child := root.Child(20, "relay", "relay.conn", 1)
+	child.Annotate(25, "relay.mark")
+	child.End(30)
+	root.End(40, Arg{Key: "outcome", Val: "ok"})
+
+	sums := tr.Summaries()
+	s := sums[sc.Trace]
+	if s == nil {
+		t.Fatal("no summary for the trace")
+	}
+	if s.Open != 0 {
+		t.Fatalf("open spans = %d, want 0", s.Open)
+	}
+	if s.Spans["client.dial"] != 1 || s.Spans["relay.conn"] != 1 {
+		t.Fatalf("span counts = %v", s.Spans)
+	}
+	if s.Instants["relay.mark"] != 1 {
+		t.Fatalf("instant counts = %v", s.Instants)
+	}
+}
+
+func TestSummariesFlagOpenSpans(t *testing.T) {
+	tr := NewTracer()
+	sc := NewSpanContext(9, 2)
+	tr.StartRoot(10, "client", "client.dial", sc) // never ended
+	if s := tr.Summaries()[sc.Trace]; s == nil || s.Open != 1 {
+		t.Fatalf("summary = %+v, want Open=1", s)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot(0, "c", "n", NewSpanContext(1))
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	// Every method on a nil span must no-op.
+	sp.Annotate(0, "x")
+	sp.End(0)
+	if c := sp.Child(0, "c", "n", 1); c != nil {
+		t.Fatal("nil span's child must be nil")
+	}
+	if sp.Context().Valid() {
+		t.Fatal("nil span's context must be invalid")
+	}
+	// An invalid context is refused even on a live tracer.
+	live := NewTracer()
+	if s := live.StartRoot(0, "c", "n", SpanContext{}); s != nil {
+		t.Fatal("invalid context must not open a span")
+	}
+	if live.Len() != 0 {
+		t.Fatal("refused span must record nothing")
+	}
+}
+
+func TestSpanChromeExport(t *testing.T) {
+	tr := NewTracer()
+	sc := NewSpanContext(3, 1)
+	sp := tr.StartRoot(units.Time(1_000_000), "client", "client.dial", sc)
+	sp.End(units.Time(2_000_000))
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"ph":"b"`, `"ph":"e"`, `"id":"0x`, `"trace":"` + sc.TraceString()} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracerConcurrentSpans exercises the tracer's lock under parallel
+// span traffic (the live relay records from many goroutines); run with
+// -race this is the data-race gate.
+func TestTracerConcurrentSpans(t *testing.T) {
+	clock := func() units.Time { return 7 }
+	tr := NewTracerWithClock(clock)
+	var wg sync.WaitGroup
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := NewSpanContext(int64(i), 1)
+			root := tr.StartRoot(tr.Now(), "w", "work", sc)
+			for j := int64(0); j < 50; j++ {
+				ch := root.Child(tr.Now(), "w", "step", j+2)
+				ch.Annotate(tr.Now(), "tick")
+				ch.End(tr.Now())
+			}
+			root.End(tr.Now())
+		}(i)
+	}
+	wg.Wait()
+	sums := tr.Summaries()
+	if len(sums) != workers {
+		t.Fatalf("traces = %d, want %d", len(sums), workers)
+	}
+	for id, s := range sums {
+		if s.Open != 0 {
+			t.Fatalf("trace %s left %d spans open", IDString(id), s.Open)
+		}
+		if s.Spans["step"] != 50 {
+			t.Fatalf("trace %s: steps = %d, want 50", IDString(id), s.Spans["step"])
+		}
+	}
+}

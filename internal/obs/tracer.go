@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 
 	"incastproxy/internal/units"
 )
@@ -15,6 +16,12 @@ const (
 	PhaseEnd     byte = 'E' // end of a duration slice (flow completion, fault clear)
 	PhaseInstant byte = 'i' // a point event (trim, NACK, RTO, ...)
 	PhaseCounter byte = 'C' // a sampled value (cwnd, queue occupancy)
+
+	// Async phases carry spans (see span.go). Unlike B/E, async slices are
+	// matched by id rather than stack position, so client- and server-side
+	// spans of one flow may overlap on a track without corrupting nesting.
+	PhaseSpanBegin byte = 'b'
+	PhaseSpanEnd   byte = 'e'
 )
 
 // Arg is one key/value annotation on an event.
@@ -23,9 +30,9 @@ type Arg struct {
 	Val string
 }
 
-// Event is one recorded trace entry. At is virtual (simulated) time; TID
-// groups events of one logical track (a flow ID, or 0 for component-level
-// events).
+// Event is one recorded trace entry. At is virtual (simulated) time — or
+// wall time for tracers created with NewTracerWithClock; TID groups events
+// of one logical track (a flow ID, or 0 for component-level events).
 type Event struct {
 	At   units.Time
 	Ph   byte
@@ -35,18 +42,47 @@ type Event struct {
 	Args []Arg
 	// Val carries the sampled value for PhaseCounter events.
 	Val float64
+	// Trace and Span link the event into a causal flow tree (span.go);
+	// both are zero for plain (non-span) events. Span doubles as the
+	// Chrome async id for PhaseSpanBegin/PhaseSpanEnd.
+	Trace uint64
+	Span  uint64
 }
 
-// Tracer is an append-only event log in virtual time. The zero value is
-// unusable; create with NewTracer. A nil *Tracer discards every record,
-// so instrumented code never needs an enabled-check. Tracer is not
-// goroutine-safe: it is designed for the single-threaded simulator.
+// Tracer is an append-only event log. The zero value is unusable; create
+// with NewTracer (virtual time: callers pass timestamps explicitly) or
+// NewTracerWithClock (live paths: Now() reads the injected clock). A nil
+// *Tracer discards every record, so instrumented code never needs an
+// enabled-check. All methods are safe for concurrent use; events keep
+// their global record order, so single-threaded (simulator) logs replay
+// byte-identically.
 type Tracer struct {
+	mu     sync.Mutex
 	events []Event
+	clock  func() units.Time
 }
 
-// NewTracer returns an empty tracer.
+// NewTracer returns an empty tracer with no clock: every record carries a
+// caller-supplied (virtual) timestamp and Now() returns 0.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// NewTracerWithClock returns a tracer whose Now() reads the given clock.
+// Live paths (relay, chaosnet, proxybench) inject a wall-clock adapter
+// here — the obs package itself never reads time.Now, keeping the
+// wall-clock lint clean — while sim paths may inject the engine clock.
+func NewTracerWithClock(clock func() units.Time) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Now returns the injected clock's current time, or 0 if the tracer is
+// nil or clockless. Use it to timestamp records on live paths where no
+// virtual time exists.
+func (t *Tracer) Now() units.Time {
+	if t == nil || t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
 
 // Enabled reports whether records are being kept.
 func (t *Tracer) Enabled() bool { return t != nil }
@@ -56,22 +92,28 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.events)
 }
 
-// Events returns the recorded events in record order.
+// Events returns a copy of the recorded events in record order.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return t.events
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
 }
 
 func (t *Tracer) add(ev Event) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.events = append(t.events, ev)
+	t.mu.Unlock()
 }
 
 // Begin opens a duration slice named name on track tid.
@@ -101,7 +143,10 @@ func (t *Tracer) Append(other *Tracer) {
 	if t == nil || other == nil {
 		return
 	}
-	t.events = append(t.events, other.events...)
+	evs := other.Events()
+	t.mu.Lock()
+	t.events = append(t.events, evs...)
+	t.mu.Unlock()
 }
 
 // Logf records a free-form instant annotation, the shim for the old
@@ -122,7 +167,9 @@ func tsMicros(at units.Time) string {
 // WriteChromeTrace serializes the log in the Chrome trace-event JSON array
 // format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 // Counter events become args:{"value": v}; instant events get scope "t"
-// (thread) so they render as ticks on their flow track.
+// (thread) so they render as ticks on their flow track; span events carry
+// their span hex as the async id, so begin/end pairs match across
+// goroutines and processes.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if _, err := io.WriteString(w, "[\n"); err != nil {
 		return err
@@ -156,6 +203,11 @@ func writeChromeEvent(w io.Writer, ev Event) error {
 	}
 	if ev.Ph == PhaseInstant {
 		if _, err := io.WriteString(w, `,"s":"t"`); err != nil {
+			return err
+		}
+	}
+	if ev.Ph == PhaseSpanBegin || ev.Ph == PhaseSpanEnd {
+		if _, err := fmt.Fprintf(w, `,"id":"0x%x"`, ev.Span); err != nil {
 			return err
 		}
 	}

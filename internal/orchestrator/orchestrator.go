@@ -81,6 +81,10 @@ type Orchestrator struct {
 	nextID   PlacementID
 	assigned map[PlacementID]*Placement
 
+	// tracer, when set, records each routing decision as an instant on
+	// the "orchestrator" decision-timeline track (see SetTracer).
+	tracer *obs.Tracer
+
 	// met holds registry instruments (see Instrument). The fields stay
 	// nil until Instrument is called; nil instruments record nothing, so
 	// the hot paths update them unconditionally.
@@ -121,6 +125,27 @@ func (o *Orchestrator) Instrument(reg *obs.Registry) {
 		}
 		return n
 	})
+}
+
+// SetTracer attaches a tracer: every Decide/DecideDecentralized outcome
+// becomes an instant event on the "orchestrator" track (args: use_proxy,
+// reason, probes), so placement decisions interleave with the control
+// plane's steer timeline and the data plane's flow spans. Call before use.
+func (o *Orchestrator) SetTracer(tr *obs.Tracer) { o.tracer = tr }
+
+// traceDecision records one routing outcome on the decision timeline.
+func (o *Orchestrator) traceDecision(mode string, d Decision) {
+	if o.tracer == nil {
+		return
+	}
+	use := "false"
+	if d.UseProxy {
+		use = "true"
+	}
+	o.tracer.Instant(o.tracer.Now(), "orchestrator", "decide."+mode, 0,
+		obs.Arg{Key: "use_proxy", Val: use},
+		obs.Arg{Key: "reason", Val: d.Reason},
+		obs.Arg{Key: "probes", Val: fmt.Sprintf("%d", d.Probes)})
 }
 
 // Errors returned by selection.
@@ -186,7 +211,9 @@ func (o *Orchestrator) Decide(req Request) (Decision, error) {
 	o.met.decisions.Inc()
 	if ok, reason := WorthProxying(req); !ok {
 		o.met.direct.Inc()
-		return Decision{UseProxy: false, Reason: reason}, nil
+		dec := Decision{UseProxy: false, Reason: reason}
+		o.traceDecision("global", dec)
+		return dec, nil
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -208,14 +235,16 @@ func (o *Orchestrator) Decide(req Request) (Decision, error) {
 	id := o.assign(best, req)
 	o.met.proxied.Inc()
 	o.met.probes.Add(uint64(probes))
-	return Decision{
+	dec := Decision{
 		UseProxy:   true,
 		Proxy:      best.info.Ref,
 		Scheme:     schemeOf(req),
 		Reason:     "least-loaded proxy (global view)",
 		Probes:     probes,
 		Assignment: id,
-	}, nil
+	}
+	o.traceDecision("global", dec)
+	return dec, nil
 }
 
 // DecideDecentralized samples `trials` random proxies in the sending DC and
@@ -225,7 +254,9 @@ func (o *Orchestrator) DecideDecentralized(req Request, trials int) (Decision, e
 	o.met.decisions.Inc()
 	if ok, reason := WorthProxying(req); !ok {
 		o.met.direct.Inc()
-		return Decision{UseProxy: false, Reason: reason}, nil
+		dec := Decision{UseProxy: false, Reason: reason}
+		o.traceDecision("sampled", dec)
+		return dec, nil
 	}
 	if trials < 1 {
 		trials = 2
@@ -253,14 +284,16 @@ func (o *Orchestrator) DecideDecentralized(req Request, trials int) (Decision, e
 	id := o.assign(best, req)
 	o.met.proxied.Inc()
 	o.met.probes.Add(uint64(probes))
-	return Decision{
+	dec := Decision{
 		UseProxy:   true,
 		Proxy:      best.info.Ref,
 		Scheme:     schemeOf(req),
 		Reason:     fmt.Sprintf("best of %d sampled proxies (decentralized)", trials),
 		Probes:     probes,
 		Assignment: id,
-	}, nil
+	}
+	o.traceDecision("sampled", dec)
+	return dec, nil
 }
 
 // Complete releases an assignment made by Decide/DecideDecentralized.

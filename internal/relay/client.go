@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incastproxy/internal/control"
@@ -166,6 +167,14 @@ type ClientConfig struct {
 	// Registry, if set, registers the client's Metrics under
 	// relay_client_* names.
 	Registry *obs.Registry
+	// Tracer, if set, opens a client.dial root span per DialTarget call
+	// (context derived from TraceSeed and a dial counter) and records
+	// breaker transitions and shed verdicts as instant events. The span's
+	// context rides the dial preamble, so relay-side spans join the trace.
+	Tracer *obs.Tracer
+	// TraceSeed roots the dial span IDs (obs.NewSpanContext); seeded
+	// harnesses pass their run seed for reproducible trace IDs.
+	TraceSeed int64
 	// PathEstimator, if set, receives every health probe's outcome: the
 	// dial round-trip on success (ObserveRTT) plus a loss mark either way
 	// (ObserveLoss), and every relay dial's admission verdict
@@ -185,6 +194,8 @@ type Client struct {
 	// HealthFlaps, BreakerOpens, BreakerState, and BusySheds are the
 	// client-side fields.
 	Metrics Metrics
+
+	traceN atomic.Uint64 // dial counter: per-dial span context label
 
 	mu        sync.Mutex
 	unhealthy bool
@@ -347,6 +358,11 @@ func (c *Client) breakerReport(probe bool, err error, ctxErr error) {
 }
 
 func (c *Client) setBreakerLocked(s BreakerState) {
+	if s != c.brState && c.cfg.Tracer != nil {
+		// Breaker flips are control-plane decisions: instant events on
+		// the decision timeline (track 0, cat "client").
+		c.cfg.Tracer.Instant(c.cfg.Tracer.Now(), "client", "breaker."+s.String(), 0)
+	}
 	c.brState = s
 	c.Metrics.BreakerState.Set(int64(s))
 }
@@ -384,18 +400,36 @@ func (c *Client) healthLoop() {
 // The error from the last relay attempt is always surfaced — promptly, each
 // attempt individually bounded — when no path works.
 func (c *Client) DialTarget(ctx context.Context, target string) (net.Conn, error) {
+	var sp *obs.Span
+	var sc obs.SpanContext
+	start := time.Now()
+	if c.cfg.Tracer != nil {
+		sc = obs.NewSpanContext(c.cfg.TraceSeed, int64(c.traceN.Add(1)))
+		sp = c.cfg.Tracer.StartRoot(c.cfg.Tracer.Now(), "client", "client.dial", sc,
+			obs.Arg{Key: "target", Val: target})
+	}
+	finish := func(outcome string) {
+		c.Metrics.DialDurationUS.Observe(c.cfg.Tracer.Now(), time.Since(start).Microseconds())
+		if sp != nil {
+			sp.End(c.cfg.Tracer.Now(), obs.Arg{Key: "outcome", Val: outcome})
+		}
+	}
 	relayErr := ErrRelayUnavailable
 	wantRelay := c.Healthy() || !c.cfg.FallbackDirect
 	if wantRelay {
 		probe, allowed := c.breakerAcquire()
 		if !allowed {
 			relayErr = ErrBreakerOpen
+			if sp != nil {
+				sp.Annotate(c.cfg.Tracer.Now(), "client.breaker_open")
+			}
 		} else {
-			conn, err := c.dialRelayWithRetries(ctx, target)
+			conn, err := c.dialRelayWithRetries(ctx, target, sc)
 			c.breakerReport(probe, err, ctx.Err())
 			if err == nil {
 				c.setHealthy(true)
 				c.cfg.PathEstimator.ObserveBusy(false)
+				finish("relay")
 				return conn, nil
 			}
 			relayErr = err
@@ -405,6 +439,12 @@ func (c *Client) DialTarget(ctx context.Context, target string) (net.Conn, error
 				// the reachability health bit.
 				c.Metrics.BusySheds.Add(1)
 				c.cfg.PathEstimator.ObserveBusy(true)
+				if sp != nil {
+					// The terminal shed event of this flow's trace: the
+					// relay sheds before reading the preamble, so only
+					// the client can attribute the verdict to the trace.
+					sp.Annotate(c.cfg.Tracer.Now(), "client.shed")
+				}
 			} else if ctx.Err() == nil {
 				c.setHealthy(false)
 			}
@@ -414,14 +454,24 @@ func (c *Client) DialTarget(ctx context.Context, target string) (net.Conn, error
 		conn, err := c.cfg.Dial(ctx, "tcp", target)
 		if err == nil {
 			c.Metrics.Fallbacks.Add(1)
+			finish("fallback-direct")
 			return conn, nil
 		}
+		finish("error")
 		return nil, fmt.Errorf("relay path: %w; direct path: %v", relayErr, err)
+	}
+	switch {
+	case IsShed(relayErr):
+		finish("shed")
+	case errors.Is(relayErr, ErrBreakerOpen):
+		finish("breaker-open")
+	default:
+		finish("error")
 	}
 	return nil, relayErr
 }
 
-func (c *Client) dialRelayWithRetries(ctx context.Context, target string) (net.Conn, error) {
+func (c *Client) dialRelayWithRetries(ctx context.Context, target string, sc obs.SpanContext) (net.Conn, error) {
 	p := c.cfg.Policy
 	var lastErr error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
@@ -432,7 +482,7 @@ func (c *Client) dialRelayWithRetries(ctx context.Context, target string) (net.C
 			}
 		}
 		actx, cancel := context.WithTimeout(ctx, p.AttemptTimeout)
-		conn, err := DialViaRelay(actx, c.cfg.Dial, c.cfg.RelayAddr, target)
+		conn, err := DialViaRelaySpan(actx, c.cfg.Dial, c.cfg.RelayAddr, target, sc)
 		cancel()
 		if err == nil {
 			return conn, nil

@@ -25,12 +25,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"incastproxy/internal/obs"
+	"incastproxy/internal/units"
 	"incastproxy/internal/wire"
 )
 
@@ -61,6 +63,10 @@ type Metrics struct {
 	BreakerOpens *obs.Counter // circuit breaker closed/half-open -> open
 	BreakerState *obs.Gauge   // 0 closed, 1 open, 2 half-open
 	BusySheds    *obs.Counter // dials the relay answered with BUSY/GOING_AWAY
+
+	// Sliding-window latency quantiles (p50/p99/p999 on /metrics).
+	SpliceDurationUS *obs.WindowQuantile // server: admitted splice lifetime
+	DialDurationUS   *obs.WindowQuantile // client: dial-to-verdict latency
 }
 
 // NewMetrics builds the instrument set, registered under prefix_* when reg
@@ -84,6 +90,9 @@ func NewMetrics(reg *obs.Registry, prefix string) Metrics {
 			BreakerOpens:  &obs.Counter{},
 			BreakerState:  &obs.Gauge{},
 			BusySheds:     &obs.Counter{},
+
+			SpliceDurationUS: obs.NewWindowQuantile(0, obs.DefaultWindowSize),
+			DialDurationUS:   obs.NewWindowQuantile(0, obs.DefaultWindowSize),
 		}
 	}
 	return Metrics{
@@ -103,6 +112,9 @@ func NewMetrics(reg *obs.Registry, prefix string) Metrics {
 		BreakerOpens:  reg.Counter(prefix + "_breaker_opens_total"),
 		BreakerState:  reg.Gauge(prefix + "_breaker_state"),
 		BusySheds:     reg.Counter(prefix + "_busy_sheds_total"),
+
+		SpliceDurationUS: reg.Window(prefix+"_splice_duration_us", 0, obs.DefaultWindowSize),
+		DialDurationUS:   reg.Window(prefix+"_dial_duration_us", 0, obs.DefaultWindowSize),
 	}
 }
 
@@ -154,6 +166,15 @@ type Config struct {
 	// Registry, if set, registers the server's Metrics under relay_*
 	// names, so a -debug-addr endpoint can expose them.
 	Registry *obs.Registry
+	// Tracer, if set, records per-connection causal spans (relay.conn ->
+	// relay.dial -> relay.splice, joined to the client's trace via the
+	// context in the dial preamble) and shed/drain instant events. Create
+	// it with obs.NewTracerWithClock so span timestamps are meaningful.
+	Tracer *obs.Tracer
+	// Logger, if set, receives structured per-connection log lines
+	// (sheds, dial failures, drain progress) with trace IDs attached.
+	// Nil disables logging.
+	Logger *slog.Logger
 }
 
 // Server states (Metrics.State): the overload/degradation state machine is
@@ -165,9 +186,19 @@ const (
 	StateClosed
 )
 
+// Span derivation labels: SpanContext.Child keys for the relay-side spans
+// of one flow. Distinct from clientSpanTransfer in chaosnet, so a flow's
+// client- and server-side span IDs never collide.
+const (
+	spanLabelConn   int64 = 1
+	spanLabelDial   int64 = 2
+	spanLabelSplice int64 = 3
+)
+
 // Server is a relay instance. Create with New, run with Serve.
 type Server struct {
 	cfg     Config
+	log     *slog.Logger
 	Metrics Metrics
 
 	mu       sync.Mutex
@@ -179,6 +210,8 @@ type Server struct {
 	lastFill time.Time      // last bucket refill
 	wg       sync.WaitGroup // every conn goroutine: splices and shed writers
 	inflight sync.WaitGroup // admitted splices only: what Drain waits for
+
+	traceN atomic.Uint64 // server-rooted trace counter for untraced dials
 }
 
 // ErrTargetRefused reports a target rejected by AllowTarget.
@@ -206,8 +239,15 @@ func New(cfg Config) *Server {
 	if cfg.AcceptRate > 0 && cfg.AcceptBurst <= 0 {
 		cfg.AcceptBurst = 8
 	}
+	log := cfg.Logger
+	if log == nil {
+		// A handler whose level is unreachable: Enabled() is false for
+		// every record, so disabled logging costs one branch, no formatting.
+		log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
 	s := &Server{
 		cfg:     cfg,
+		log:     log,
 		Metrics: NewMetrics(cfg.Registry, "relay"),
 		conns:   make(map[net.Conn]struct{}),
 		tokens:  float64(cfg.AcceptBurst),
@@ -215,6 +255,9 @@ func New(cfg Config) *Server {
 	s.Metrics.State.Set(StateServing)
 	return s
 }
+
+// traceNow reads the tracer's injected clock (0 when untraced/clockless).
+func (s *Server) traceNow() units.Time { return s.cfg.Tracer.Now() }
 
 // Registry returns the registry the server's metrics are registered in
 // (nil when Config.Registry was not set).
@@ -286,18 +329,39 @@ func (s *Server) Serve(l net.Listener) error {
 				c.Close()
 				return net.ErrClosed
 			}
+			// Sheds happen before the preamble read by design (no work
+			// for refused dials), so no trace context exists server-side
+			// yet: the shed is an untraced instant here, and the client
+			// records the terminal shed event on its own dial span.
+			if s.cfg.Tracer != nil {
+				name := "relay.shed.busy"
+				if verdict == wire.KindGoingAway {
+					name = "relay.shed.goaway"
+				}
+				s.cfg.Tracer.Instant(s.traceNow(), "relay", name, 0)
+			}
+			s.log.Info("relay: shed dial", "verdict", verdict.String(), "remote", remoteAddr(c))
 			continue
 		}
 		s.Metrics.ActiveConns.Add(1)
+		admittedAt := s.traceNow()
 		go func() {
 			defer s.wg.Done()
 			defer s.inflight.Done()
 			defer s.release()
 			defer s.Metrics.ActiveConns.Add(-1)
 			defer s.untrack(c)
-			s.handle(c)
+			s.handle(c, admittedAt)
 		}()
 	}
+}
+
+// remoteAddr renders a peer address for log lines, tolerating nil.
+func remoteAddr(c net.Conn) string {
+	if a := c.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
 }
 
 // retryableAccept reports whether an accept error is transient: worth a
@@ -383,8 +447,22 @@ func (s *Server) shedLocked(c net.Conn, kind wire.Kind) {
 		defer s.wg.Done()
 		defer s.untrack(c)
 		defer c.Close()
-		c.SetWriteDeadline(time.Now().Add(time.Second))
-		c.Write(wire.Marshal(wire.Header{Kind: kind}))
+		c.SetDeadline(time.Now().Add(time.Second))
+		if _, err := c.Write(wire.Marshal(wire.Header{Kind: kind})); err != nil {
+			return
+		}
+		// Half-close, then drain the client's in-flight preamble before
+		// the full close. Closing immediately races with the preamble
+		// write the client is making right now: with the preamble unread,
+		// a TCP close degrades to an RST that can destroy the verdict in
+		// flight (and a lan-pipe close breaks the write outright), so the
+		// client sees a generic transport error instead of the explicit
+		// shed — and retries a dial this relay just refused. The drain is
+		// bounded by the deadline above and the preamble's maximum size.
+		if cw, ok := c.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		}
+		io.Copy(io.Discard, io.LimitReader(c, wire.HeaderSize+wire.MaxTargetLen))
 	}()
 }
 
@@ -410,6 +488,8 @@ func (s *Server) Drain(timeout time.Duration) error {
 		s.Metrics.State.Set(StateDraining)
 	}
 	s.mu.Unlock()
+	s.cfg.Tracer.Instant(s.traceNow(), "relay", "relay.drain.begin", 0)
+	s.log.Info("relay: drain begun", "timeout", timeout)
 
 	done := make(chan struct{})
 	go func() {
@@ -425,6 +505,13 @@ func (s *Server) Drain(timeout time.Duration) error {
 		err = ErrDrainTimeout
 	}
 	s.Close()
+	if err != nil {
+		s.cfg.Tracer.Instant(s.traceNow(), "relay", "relay.drain.timeout", 0)
+		s.log.Warn("relay: drain deadline exceeded, splices hard-closed")
+	} else {
+		s.cfg.Tracer.Instant(s.traceNow(), "relay", "relay.drain.done", 0)
+		s.log.Info("relay: drained cleanly")
+	}
 	return err
 }
 
@@ -456,34 +543,90 @@ func (s *Server) untrack(c net.Conn) {
 	s.mu.Unlock()
 }
 
-// handle runs one relayed connection to completion.
-func (s *Server) handle(client net.Conn) {
+// handle runs one relayed connection to completion. admittedAt is the
+// admission timestamp on the tracer clock (0 when untraced), taken in the
+// accept loop so the relay.conn span starts where the slot was claimed.
+func (s *Server) handle(client net.Conn, admittedAt units.Time) {
 	defer client.Close()
 	client.SetReadDeadline(time.Now().Add(s.cfg.PreambleTimeout))
-	target, err := readDial(client)
+	d, err := readDial(client)
 	if err != nil {
+		s.log.Warn("relay: bad preamble", "remote", remoteAddr(client), "err", err)
 		writeError(client, err)
 		return
 	}
 	client.SetReadDeadline(time.Time{})
-	if s.cfg.AllowTarget != nil && !s.cfg.AllowTarget(target) {
+
+	// Join the client's trace: the preamble carried its span context, and
+	// both sides derive the same child IDs from it (obs.SpanContext.Child).
+	// A legacy dialer sends no context (TraceID 0); the relay then roots a
+	// server-local trace so `relayd -trace` still yields one span tree per
+	// flow even when no client cooperates.
+	var conn *obs.Span
+	parent := obs.SpanContext{Trace: d.TraceID, Span: d.SpanID}
+	if s.cfg.Tracer != nil {
+		if parent.Trace == 0 {
+			parent = obs.NewSpanContext(int64(s.traceN.Add(1)), spanLabelConn)
+		}
+		conn = s.cfg.Tracer.StartSpan(admittedAt, "relay", "relay.conn", parent, spanLabelConn,
+			obs.Arg{Key: "target", Val: d.Target})
+	}
+	s.log.Debug("relay: admitted", "remote", remoteAddr(client),
+		"target", d.Target, "trace", obs.IDString(parent.Trace))
+
+	if s.cfg.AllowTarget != nil && !s.cfg.AllowTarget(d.Target) {
 		s.Metrics.DialErrors.Add(1)
+		s.log.Warn("relay: target refused by policy", "target", d.Target, "trace", obs.IDString(parent.Trace))
+		if conn != nil {
+			conn.End(s.traceNow(), obs.Arg{Key: "outcome", Val: "refused"})
+		}
 		writeError(client, ErrTargetRefused)
 		return
 	}
+	var td *obs.Span
+	if conn != nil {
+		td = conn.Child(s.traceNow(), "relay", "relay.dial", spanLabelDial)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DialTimeout)
-	remote, err := s.cfg.Dial(ctx, "tcp", target)
+	remote, err := s.cfg.Dial(ctx, "tcp", d.Target)
 	cancel()
 	if err != nil {
 		s.Metrics.DialErrors.Add(1)
+		s.log.Warn("relay: target dial failed", "target", d.Target,
+			"trace", obs.IDString(parent.Trace), "err", err)
+		if conn != nil {
+			td.End(s.traceNow(), obs.Arg{Key: "outcome", Val: "error"})
+			conn.End(s.traceNow(), obs.Arg{Key: "outcome", Val: "dial-error"})
+		}
 		writeError(client, err)
 		return
 	}
+	if conn != nil {
+		td.End(s.traceNow(), obs.Arg{Key: "outcome", Val: "ok"})
+	}
 	defer remote.Close()
 	if _, err := client.Write(wire.Marshal(wire.Header{Kind: wire.KindDialOK})); err != nil {
+		if conn != nil {
+			conn.End(s.traceNow(), obs.Arg{Key: "outcome", Val: "client-gone"})
+		}
 		return
 	}
-	s.splice(client, remote)
+	var sp *obs.Span
+	if conn != nil {
+		sp = conn.Child(s.traceNow(), "relay", "relay.splice", spanLabelSplice)
+	}
+	start := time.Now()
+	up, down := s.splice(client, remote)
+	s.Metrics.SpliceDurationUS.Observe(s.traceNow(), time.Since(start).Microseconds())
+	if conn != nil {
+		now := s.traceNow()
+		sp.End(now,
+			obs.Arg{Key: "up_bytes", Val: fmt.Sprint(up)},
+			obs.Arg{Key: "down_bytes", Val: fmt.Sprint(down)})
+		conn.End(now, obs.Arg{Key: "outcome", Val: "ok"})
+	}
+	s.log.Debug("relay: splice done", "target", d.Target,
+		"trace", obs.IDString(parent.Trace), "up_bytes", up, "down_bytes", down)
 }
 
 // spliceState is the deadline bookkeeping shared by a splice's two copy
@@ -496,8 +639,9 @@ type spliceState struct {
 	timedOut atomic.Bool
 }
 
-// splice copies bytes both ways until both directions finish.
-func (s *Server) splice(client, remote net.Conn) {
+// splice copies bytes both ways until both directions finish, returning
+// the byte counts moved client->target (up) and target->client (down).
+func (s *Server) splice(client, remote net.Conn) (up, down int64) {
 	st := &spliceState{}
 	st.activity.Store(time.Now().UnixNano())
 	if s.cfg.SpliceTimeout > 0 {
@@ -507,15 +651,16 @@ func (s *Server) splice(client, remote net.Conn) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		n := s.copyDirection(remote, client, st)
-		s.Metrics.BytesUpstream.Add(uint64(n))
+		up = s.copyDirection(remote, client, st)
+		s.Metrics.BytesUpstream.Add(uint64(up))
 	}()
 	go func() {
 		defer wg.Done()
-		n := s.copyDirection(client, remote, st)
-		s.Metrics.BytesDownstr.Add(uint64(n))
+		down = s.copyDirection(client, remote, st)
+		s.Metrics.BytesDownstr.Add(uint64(down))
 	}()
 	wg.Wait()
+	return up, down
 }
 
 // copyDirection streams src->dst, half-closing dst when src ends, and fully
@@ -613,15 +758,15 @@ func isDeadline(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// readDial consumes the client's dial preamble and returns the target.
+// readDial consumes the client's dial preamble (target + trace context).
 // Malformed preambles (truncated, oversized, garbage) surface as the wire
 // package's typed errors.
-func readDial(c net.Conn) (string, error) {
-	target, err := wire.ReadPreamble(c)
+func readDial(c net.Conn) (wire.Dial, error) {
+	d, err := wire.ReadDial(c)
 	if err != nil {
-		return "", fmt.Errorf("relay: %w", err)
+		return wire.Dial{}, fmt.Errorf("relay: %w", err)
 	}
-	return target, nil
+	return d, nil
 }
 
 // writeError best-effort reports a failure to the client.
@@ -642,6 +787,15 @@ func writeError(c net.Conn, err error) {
 func DialViaRelay(ctx context.Context,
 	dial func(ctx context.Context, network, addr string) (net.Conn, error),
 	relayAddr, target string) (net.Conn, error) {
+	return DialViaRelaySpan(ctx, dial, relayAddr, target, obs.SpanContext{})
+}
+
+// DialViaRelaySpan is DialViaRelay with a span context attached: sc rides
+// the dial preamble (header FlowID/Seq), so the relay's server-side spans
+// join the caller's trace. A zero sc dials untraced.
+func DialViaRelaySpan(ctx context.Context,
+	dial func(ctx context.Context, network, addr string) (net.Conn, error),
+	relayAddr, target string, sc obs.SpanContext) (net.Conn, error) {
 	if dial == nil {
 		var d net.Dialer
 		dial = d.DialContext
@@ -658,7 +812,7 @@ func DialViaRelay(ctx context.Context,
 	if dl, ok := ctx.Deadline(); ok {
 		deadlined = c.SetDeadline(dl) == nil
 	}
-	pre, err := wire.AppendDialPreamble(nil, target)
+	pre, err := wire.AppendDial(nil, wire.Dial{Target: target, TraceID: sc.Trace, SpanID: sc.Span})
 	if err != nil {
 		c.Close()
 		return nil, err

@@ -36,80 +36,117 @@ var (
 	ErrTargetGarbage = errors.New("wire: dial target contains garbage bytes")
 )
 
-// AppendDialPreamble marshals a dial preamble for target onto buf. The
-// target is validated with the same rules the parser enforces, so a
-// preamble this function produces always parses.
-func AppendDialPreamble(buf []byte, target string) ([]byte, error) {
-	if len(target) == 0 || len(target) > MaxTargetLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTargetLen, len(target))
-	}
-	if err := checkTarget([]byte(target)); err != nil {
-		return nil, err
-	}
-	buf = AppendHeader(buf, Header{Kind: KindDial, Length: uint32(len(target))})
-	return append(buf, target...), nil
+// Dial is a decoded dial preamble: the target plus the trace context the
+// client attached. TraceID and SpanID ride the header's FlowID and Seq
+// fields — both were fixed at zero in DIAL frames, so carrying them is a
+// wire-compatible extension: old parsers ignore the fields, old dialers
+// produce TraceID=0 ("untraced"), and the existing checksum already
+// covers them.
+type Dial struct {
+	Target  string
+	TraceID uint64
+	SpanID  uint64
 }
 
-// ParsePreamble decodes a dial preamble from the front of b, returning the
-// target and the number of bytes consumed. It never panics and never
+// AppendDial marshals a dial preamble onto buf. The target is validated
+// with the same rules the parser enforces, so a preamble this function
+// produces always parses.
+func AppendDial(buf []byte, d Dial) ([]byte, error) {
+	if len(d.Target) == 0 || len(d.Target) > MaxTargetLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTargetLen, len(d.Target))
+	}
+	if err := checkTarget([]byte(d.Target)); err != nil {
+		return nil, err
+	}
+	buf = AppendHeader(buf, Header{
+		Kind:   KindDial,
+		FlowID: d.TraceID,
+		Seq:    d.SpanID,
+		Length: uint32(len(d.Target)),
+	})
+	return append(buf, d.Target...), nil
+}
+
+// AppendDialPreamble marshals an untraced dial preamble for target onto
+// buf (compatibility wrapper over AppendDial).
+func AppendDialPreamble(buf []byte, target string) ([]byte, error) {
+	return AppendDial(buf, Dial{Target: target})
+}
+
+// ParseDial decodes a dial preamble from the front of b, returning the
+// dial and the number of bytes consumed. It never panics and never
 // allocates more than MaxTargetLen regardless of input.
-func ParsePreamble(b []byte) (target string, n int, err error) {
+func ParseDial(b []byte) (d Dial, n int, err error) {
 	if len(b) < HeaderSize {
-		return "", 0, fmt.Errorf("%w: %d of %d header bytes", ErrPreambleTruncated, len(b), HeaderSize)
+		return Dial{}, 0, fmt.Errorf("%w: %d of %d header bytes", ErrPreambleTruncated, len(b), HeaderSize)
 	}
 	h, err := Parse(b)
 	if err != nil {
-		return "", 0, err
+		return Dial{}, 0, err
 	}
 	if h.Kind != KindDial {
-		return "", 0, fmt.Errorf("%w: got %v", ErrNotDial, h.Kind)
+		return Dial{}, 0, fmt.Errorf("%w: got %v", ErrNotDial, h.Kind)
 	}
 	if h.Length == 0 || h.Length > MaxTargetLen {
-		return "", 0, fmt.Errorf("%w: %d bytes", ErrTargetLen, h.Length)
+		return Dial{}, 0, fmt.Errorf("%w: %d bytes", ErrTargetLen, h.Length)
 	}
 	end := HeaderSize + int(h.Length)
 	if len(b) < end {
-		return "", 0, fmt.Errorf("%w: %d of %d target bytes", ErrPreambleTruncated, len(b)-HeaderSize, h.Length)
+		return Dial{}, 0, fmt.Errorf("%w: %d of %d target bytes", ErrPreambleTruncated, len(b)-HeaderSize, h.Length)
 	}
 	t := b[HeaderSize:end]
 	if err := checkTarget(t); err != nil {
-		return "", 0, err
+		return Dial{}, 0, err
 	}
-	return string(t), end, nil
+	return Dial{Target: string(t), TraceID: h.FlowID, SpanID: h.Seq}, end, nil
 }
 
-// ReadPreamble consumes a dial preamble from r — the relay's accept path.
+// ParsePreamble decodes a dial preamble from the front of b, returning
+// only the target (compatibility wrapper over ParseDial).
+func ParsePreamble(b []byte) (target string, n int, err error) {
+	d, n, err := ParseDial(b)
+	return d.Target, n, err
+}
+
+// ReadDial consumes a dial preamble from r — the relay's accept path.
 // A stream that ends early reports ErrPreambleTruncated; structural and
-// content failures report the same typed errors as ParsePreamble.
-func ReadPreamble(r io.Reader) (string, error) {
+// content failures report the same typed errors as ParseDial.
+func ReadDial(r io.Reader) (Dial, error) {
 	hdr := make([]byte, HeaderSize)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return "", fmt.Errorf("%w: header: %v", ErrPreambleTruncated, err)
+			return Dial{}, fmt.Errorf("%w: header: %v", ErrPreambleTruncated, err)
 		}
-		return "", err
+		return Dial{}, err
 	}
 	h, err := Parse(hdr)
 	if err != nil {
-		return "", err
+		return Dial{}, err
 	}
 	if h.Kind != KindDial {
-		return "", fmt.Errorf("%w: got %v", ErrNotDial, h.Kind)
+		return Dial{}, fmt.Errorf("%w: got %v", ErrNotDial, h.Kind)
 	}
 	if h.Length == 0 || h.Length > MaxTargetLen {
-		return "", fmt.Errorf("%w: %d bytes", ErrTargetLen, h.Length)
+		return Dial{}, fmt.Errorf("%w: %d bytes", ErrTargetLen, h.Length)
 	}
 	target := make([]byte, h.Length)
 	if _, err := io.ReadFull(r, target); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return "", fmt.Errorf("%w: target: %v", ErrPreambleTruncated, err)
+			return Dial{}, fmt.Errorf("%w: target: %v", ErrPreambleTruncated, err)
 		}
-		return "", err
+		return Dial{}, err
 	}
 	if err := checkTarget(target); err != nil {
-		return "", err
+		return Dial{}, err
 	}
-	return string(target), nil
+	return Dial{Target: string(target), TraceID: h.FlowID, SpanID: h.Seq}, nil
+}
+
+// ReadPreamble consumes a dial preamble from r, returning only the target
+// (compatibility wrapper over ReadDial).
+func ReadPreamble(r io.Reader) (string, error) {
+	d, err := ReadDial(r)
+	return d.Target, err
 }
 
 // checkTarget rejects bytes that cannot occur in a host:port — control

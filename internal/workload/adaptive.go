@@ -20,7 +20,6 @@ import (
 	"incastproxy/internal/control"
 	"incastproxy/internal/faults"
 	"incastproxy/internal/netsim"
-	"incastproxy/internal/obs"
 	"incastproxy/internal/proxy"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/sim"
@@ -161,6 +160,10 @@ func runAdaptive(spec Spec, seed int64) (RunResult, error) {
 	})
 
 	ctrl := control.NewController(cc, ro.reg)
+	// The controller records its own decision timeline: detector
+	// onsets/decays and executed steers land on the trace's "control"
+	// track, interleaved with the flow events.
+	ctrl.SetTracer(ro.tracer)
 	recvSig := control.WatchPort("recv-tor", net.DownToRPort(recv), cc.HalfLife)
 	proxySig := control.WatchPort("proxy-tor", net.DownToRPort(proxyHost), cc.HalfLife)
 	ctrl.WatchReceiverQueue(recvSig)
@@ -419,18 +422,15 @@ func runAdaptive(spec Spec, seed int64) (RunResult, error) {
 	}
 
 	ctrl.OnSteer(func(e *sim.Engine, a control.Action, reason string) bool {
-		var acted bool
+		// The controller's tracer records acted steers; this callback
+		// only moves the flows.
 		switch a {
 		case control.SteerProxy:
-			acted = steerToProxy(e)
+			return steerToProxy(e)
 		case control.SteerDirect:
-			acted = steerToDirect(e)
+			return steerToDirect(e)
 		}
-		if acted {
-			ro.tracer.Instant(e.Now(), "control", a.String(), 0,
-				obs.Arg{Key: "reason", Val: reason})
-		}
-		return acted
+		return false
 	})
 	ctrl.Start(e, until)
 
