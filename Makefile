@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race race-runner fuzz chaos soak figures fmt bench bench-json lint
+.PHONY: build test check race race-runner fuzz fuzz-smoke chaos soak figures fmt bench bench-json lint lint-json
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,21 @@ test:
 check: lint
 	$(GO) test -race ./...
 
-# Static analysis plus the wall-clock ban: internal/sim, netsim, transport,
-# control, obs, and chaosnet keep their non-test sources clock-free — a
-# time.Now/time.Sleep there breaks byte-identical determinism (see
-# TestNoWallClockInVirtualTimePaths).
+# Static analysis: go vet plus the repo's own analyzer suite (internal/lint,
+# driven by cmd/lint) — wallclock (no wall-clock reads in packages carrying
+# the lint:virtual-time pragma), rawrand (no math/rand globals or ad-hoc
+# seed arithmetic), maporder (no map-iteration-ordered output),
+# orphangoroutine (no uncoordinated goroutines in the live-concurrency
+# packages), and errdrop (no silently dropped write/encode errors on the
+# wire/relay/obs output paths). Non-zero exit on any unsuppressed finding.
+# See DESIGN.md §12.
 lint:
 	$(GO) vet ./...
-	$(GO) test -run TestNoWallClockInVirtualTimePaths ./internal/obs/
+	$(GO) run ./cmd/lint
+
+# Machine-readable findings (CI uploads this as an artifact).
+lint-json:
+	$(GO) run ./cmd/lint -json > lint.json
 
 # Microbenchmarks, one `-bench .` invocation per package so new benchmarks
 # are picked up without editing a name list here. The root package's
@@ -61,6 +69,13 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParsePreamble -fuzztime=30s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzHeaderRoundTrip -fuzztime=30s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzParseConfig -fuzztime=30s ./internal/control/
+
+# Short fuzz pass over the attacker-facing wire parsers, sized for a CI
+# smoke step: long enough to shake out a regressed bounds check, short
+# enough to keep the gate fast.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzParsePreamble -fuzztime=10s ./internal/wire/
+	$(GO) test -run=^$$ -fuzz=FuzzHeaderRoundTrip -fuzztime=10s ./internal/wire/
 
 # The fixed-seed proxy-failure scenarios (see EXPERIMENTS.md, "Chaos").
 chaos:

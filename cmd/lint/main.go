@@ -1,0 +1,82 @@
+// Command lint runs the repository's static-analysis suite (internal/lint)
+// over every package in the module and exits non-zero on findings. It is the
+// mechanical check behind the determinism, clock, and concurrency invariants
+// the figures rest on; `make lint` and CI gate on it.
+//
+// Usage:
+//
+//	lint [-root dir] [-analyzer name[,name...]] [-json] [-list]
+//
+// Exit codes: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"incastproxy/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", ".", "module root (directory containing go.mod)")
+	sel := fs.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := lint.Analyzers
+	if *sel != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*sel, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "lint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	pkgs, err := lint.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintf(stderr, "lint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,3 +1,7 @@
+// lint:virtual-time
+// (pragma: opts this package into the wallclock analyzer — no wall-clock
+// reads in non-test sources; see internal/lint and DESIGN.md §12)
+
 // Package chaosnet is a deterministic fault-injecting TCP proxy for chaos
 // testing the live relay path. It sits between a client and a server,
 // forwarding bytes while injecting the failure modes a WAN inflicts on real
@@ -165,7 +169,10 @@ func (p *Proxy) Serve(l net.Listener) error {
 		p.wg.Add(1)
 		p.mu.Unlock()
 		p.Metrics.Conns.Add(1)
-		go p.forward(c, id)
+		go func() {
+			defer p.wg.Done() // paired with the Add under p.mu above
+			p.forward(c, id)
+		}()
 	}
 }
 
@@ -200,7 +207,6 @@ func (p *Proxy) untrack(c net.Conn) {
 // direction under its own fault plan (independent seeds, so a reset in one
 // direction and a stall in the other can coincide).
 func (p *Proxy) forward(client net.Conn, id int64) {
-	defer p.wg.Done()
 	defer p.untrack(client)
 	defer client.Close()
 	upstream, err := p.dial(context.Background(), "tcp", p.target)

@@ -204,12 +204,14 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		return nil, err
 	}
 	defer sinkL.Close()
+	//lint:ignore orphangoroutine accept loop exits when the deferred sinkL.Close fires; LeakCheck in the soak tests verifies it
 	go func() {
 		for {
 			c, err := sinkL.Accept()
 			if err != nil {
 				return
 			}
+			//lint:ignore orphangoroutine echo pump dies with its conn, whose relay side is closed by Drain at teardown
 			go func() {
 				defer c.Close()
 				io.Copy(c, c)
@@ -229,6 +231,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		Tracer:      cfg.Tracer,
 		Logger:      cfg.Logger,
 	})
+	//lint:ignore orphangoroutine Serve returns when srv.Drain (below) closes the listener; Drain's wg.Wait joins the handlers
 	go srv.Serve(relayL)
 
 	// Chaos proxy between the clients and the relay.
@@ -239,6 +242,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	}
 	chaos := New(relayL.Addr().String(), nil, cfg.Faults, cfg.Registry)
 	chaos.SetTracer(cfg.Tracer)
+	//lint:ignore orphangoroutine Serve returns when chaos.Close (after drain) closes the listener and waits for forwarders
 	go chaos.Serve(chaosL)
 
 	res := &SoakResult{Conns: cfg.Conns, Tracer: cfg.Tracer}

@@ -1,3 +1,7 @@
+// lint:virtual-time
+// (pragma: opts this package into the wallclock analyzer — no wall-clock
+// reads in non-test sources; see internal/lint and DESIGN.md §12)
+
 // Package control is the adaptive proxy control plane: it watches the
 // telemetry the simulator already produces (queue depth, ECN mark / trim /
 // drop counters, probe RTTs, completed-flow FCTs), detects incast onset and

@@ -1,0 +1,494 @@
+// Package lint is a stdlib-only static-analysis framework enforcing the
+// repository's determinism, clock, and concurrency invariants — the side
+// conditions every reproduced figure rests on but the compiler cannot see.
+//
+// The model is a small subset of go/analysis: an Analyzer inspects one
+// type-checked package at a time and reports Diagnostics (position, analyzer
+// name, message). The driver in cmd/lint loads every package in the module,
+// runs the suite, and exits non-zero on findings; `make lint` and CI gate on
+// it, and the virtual-time shim test in internal/obs keeps `go test ./...`
+// enforcing the wallclock analyzer as well.
+//
+// Two comment conventions steer the suite:
+//
+//   - A file containing a comment line that is exactly "lint:virtual-time"
+//     opts its whole package into the wallclock analyzer. The pragma lives in
+//     the package itself (next to the code it constrains) instead of a
+//     directory list in a faraway test, so a new virtual-time package cannot
+//     silently escape the lint when the list drifts.
+//
+//   - A finding is suppressed by a comment of the form
+//     "//lint:ignore <analyzer> <reason>" on the flagged line or the line
+//     above it. The reason is mandatory; a reasonless or unused suppression
+//     is itself a finding, so suppressions cannot rot.
+//
+// Everything here uses only go/parser, go/ast, go/types, and go/importer —
+// no external analysis modules — so the lint runs anywhere the toolchain
+// does.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding: an analyzer, a position, and a message.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"-"`
+	Pos      string         `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// An Analyzer checks one package at a time and reports findings through the
+// Pass. Match (nil = every package) restricts which import paths the driver
+// hands to the analyzer; golden tests bypass it and run on fixtures directly.
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Match func(pkgPath string) bool
+	Run   func(*Pass)
+}
+
+// A Pass carries one package's syntax and type information to an analyzer.
+// Only non-test sources are present: the invariants guard what ships, and
+// tests routinely (and legitimately) touch wall clocks and raw randomness.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string // import path, e.g. "incastproxy/internal/sim"
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: position,
+		Pos:      position.String(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of an expression, or nil when type
+// information is unavailable (analyzers degrade to their syntactic
+// heuristics in that case rather than crashing).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// A Package is one loaded, type-checked package of the module.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test sources, sorted by file name
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadModule parses and type-checks every package under the module rooted at
+// root (the directory containing go.mod), excluding testdata and hidden
+// directories and excluding _test.go files. Stdlib imports are type-checked
+// from GOROOT source via go/importer; module-internal imports are resolved
+// recursively. Type-check errors are tolerated (Info stays partial) so a
+// broken tree still lints, but parse errors are fatal.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		root:   root,
+		module: modPath,
+		fset:   token.NewFileSet(),
+		pkgs:   make(map[string]*Package),
+		std:    importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := ld.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir loads a single directory as a standalone package (stdlib imports
+// only). Golden tests use it to lint fixture packages under testdata.
+func LoadDir(dir string) (*Package, error) {
+	ld := &loader{
+		root:   dir,
+		module: "lintfixture",
+		fset:   token.NewFileSet(),
+		pkgs:   make(map[string]*Package),
+		std:    importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	pkg, err := ld.load(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+	}
+	return pkg, nil
+}
+
+type loader struct {
+	root    string
+	module  string
+	fset    *token.FileSet
+	pkgs    map[string]*Package // keyed by directory
+	std     types.Importer
+	loading []string // import-path stack for cycle reporting
+}
+
+// load parses and type-checks the package in dir, caching by directory.
+// Directories with no non-test Go sources return (nil, nil).
+func (ld *loader) load(dir string) (*Package, error) {
+	dir = filepath.Clean(dir)
+	if pkg, ok := ld.pkgs[dir]; ok {
+		return pkg, nil
+	}
+	importPath := ld.importPath(dir)
+	for _, p := range ld.loading {
+		if p == importPath {
+			return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.pkgs[dir] = nil
+		return nil, nil
+	}
+
+	ld.loading = append(ld.loading, importPath)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(error) {}, // tolerate; analyzers degrade to syntax
+	}
+	tpkg, _ := conf.Check(importPath, ld.fset, files, info)
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	ld.pkgs[dir] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths load from source
+// under the module root, everything else (stdlib) goes to the GOROOT source
+// importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.module || strings.HasPrefix(path, ld.module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.module), "/")
+		pkg, err := ld.load(filepath.Join(ld.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || pkg.Types == nil {
+			return nil, fmt.Errorf("lint: no package at %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// importPath maps a directory under the module root to its import path.
+func (ld *loader) importPath(dir string) string {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || rel == "." {
+		return ld.module
+	}
+	return ld.module + "/" + filepath.ToSlash(rel)
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Run executes the analyzers over the packages (honoring each analyzer's
+// Match), applies //lint:ignore suppressions, and reports malformed or
+// unused suppressions as findings of the pseudo-analyzer "lint". The result
+// is sorted by position then analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			RunPackage(pkg, a, &raw)
+		}
+	}
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	out := applySuppressions(pkgs, raw, running)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// RunPackage runs one analyzer over one package, appending raw (unfiltered)
+// findings to diags. Golden tests use it to bypass Match and suppression
+// filtering; Run is the production entry point.
+func RunPackage(pkg *Package, a *Analyzer, diags *[]Diagnostic) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Path:     pkg.Path,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    diags,
+	}
+	a.Run(pass)
+}
+
+// ignorePrefix is the suppression marker: "//lint:ignore <analyzer> <reason>".
+const ignorePrefix = "lint:ignore"
+
+type suppression struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// applySuppressions drops diagnostics covered by a well-formed
+// //lint:ignore comment on the same line or the line above, and emits
+// "lint" findings for malformed suppressions and for suppressions that
+// matched nothing (only for analyzers that actually ran).
+func applySuppressions(pkgs []*Package, diags []Diagnostic, running map[string]bool) []Diagnostic {
+	// file -> line -> suppression
+	byLine := make(map[string]map[int]*suppression)
+	var out []Diagnostic
+	var all []*suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+					if len(fields) < 2 {
+						out = append(out, Diagnostic{
+							Analyzer: "lint",
+							Position: pos,
+							Pos:      pos.String(),
+							Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					s := &suppression{
+						pos:      pos,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					}
+					if byLine[pos.Filename] == nil {
+						byLine[pos.Filename] = make(map[int]*suppression)
+					}
+					byLine[pos.Filename][pos.Line] = s
+					all = append(all, s)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if s := matchSuppression(byLine, d); s != nil {
+			s.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, s := range all {
+		if !s.used && running[s.analyzer] {
+			out = append(out, Diagnostic{
+				Analyzer: "lint",
+				Position: s.pos,
+				Pos:      s.pos.String(),
+				Message:  fmt.Sprintf("unused suppression for %q (%s)", s.analyzer, s.reason),
+			})
+		}
+	}
+	return out
+}
+
+// matchSuppression finds a suppression covering d: same file, matching
+// analyzer, on the diagnostic's line (trailing comment) or the line above.
+func matchSuppression(byLine map[string]map[int]*suppression, d Diagnostic) *suppression {
+	lines := byLine[d.Position.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+		if s := lines[line]; s != nil && s.analyzer == d.Analyzer {
+			return s
+		}
+	}
+	return nil
+}
+
+// importNames returns every local name under which a file imports path
+// (empty when the file does not import it; may include "." for dot imports
+// and "_" for blank ones).
+func importNames(f *ast.File, path string) []string {
+	var names []string
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			names = append(names, imp.Name.Name)
+			continue
+		}
+		// Last path element is the default package name for every stdlib
+		// and module-internal package this repo touches.
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			names = append(names, path[i+1:])
+		} else {
+			names = append(names, path)
+		}
+	}
+	return names
+}
+
+// hasPragma reports whether any file of the package contains a comment line
+// that is exactly pragma (e.g. "lint:virtual-time").
+func hasPragma(files []*ast.File, pragma string) bool {
+	for _, f := range files {
+		if fileHasPragma(f, pragma) {
+			return true
+		}
+	}
+	return false
+}
+
+func fileHasPragma(f *ast.File, pragma string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == pragma {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Analyzers is the production suite, in the order the driver runs it.
+var Analyzers = []*Analyzer{
+	Wallclock,
+	Rawrand,
+	Maporder,
+	Orphangoroutine,
+	Errdrop,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestGolden lints each fixture package under testdata with its analyzer and
+// checks the raw findings against the fixtures' `// want `…“ annotations:
+// every annotated line must produce a matching finding, every finding must
+// land on an annotated line.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer *Analyzer
+	}{
+		{"wallclock", Wallclock},
+		{"wallclock_optout", Wallclock},
+		{"rawrand", Rawrand},
+		{"maporder", Maporder},
+		{"orphangoroutine", Orphangoroutine},
+		{"errdrop", Errdrop},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir+"/"+tc.analyzer.Name, func(t *testing.T) {
+			pkg, err := LoadDir(filepath.Join("testdata", tc.dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var diags []Diagnostic
+			RunPackage(pkg, tc.analyzer, &diags)
+			checkWants(t, pkg, diags)
+		})
+	}
+}
+
+// want is one expected finding: a file, a line, and a message pattern.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "want ")
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				if len(rest) < 2 || rest[0] != '`' {
+					t.Errorf("%s: malformed want annotation %q (use want `regexp`)",
+						pkg.Fset.Position(c.Pos()), rest)
+					continue
+				}
+				end := strings.IndexByte(rest[1:], '`')
+				if end < 0 {
+					t.Errorf("%s: unterminated want annotation", pkg.Fset.Position(c.Pos()))
+					continue
+				}
+				re, err := regexp.Compile(rest[1 : 1+end])
+				if err != nil {
+					t.Errorf("%s: bad want regexp: %v", pkg.Fset.Position(c.Pos()), err)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestSuppressionRoundTrip runs the full pipeline (Run, not RunPackage) over
+// the suppress fixture: reasoned suppressions on the same line and the line
+// above must hide their findings, the un-suppressed call must survive, and
+// unused or reasonless suppressions must be reported by the "lint"
+// pseudo-analyzer.
+func TestSuppressionRoundTrip(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Wallclock})
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s: %s", d.Analyzer, d.Message))
+	}
+	expect := []*regexp.Regexp{
+		regexp.MustCompile(`^lint: malformed suppression`),
+		regexp.MustCompile(`^lint: unused suppression for "wallclock"`),
+		regexp.MustCompile(`^wallclock: wall-clock call time\.Now`), // stillFlagged only
+	}
+	if len(got) != len(expect) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(expect), strings.Join(got, "\n"))
+	}
+	for _, re := range expect {
+		found := false
+		for _, g := range got {
+			if re.MatchString(g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic matching %q in:\n%s", re, strings.Join(got, "\n"))
+		}
+	}
+}
+
+// TestPragmaDetection pins the exact-line semantics: prose mentioning the
+// pragma does not opt a package in.
+func TestPragmaDetection(t *testing.T) {
+	in, err := LoadDir(filepath.Join("testdata", "wallclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasPragma(in.Files, VirtualTimePragma) {
+		t.Error("wallclock fixture should carry the virtual-time pragma")
+	}
+	out, err := LoadDir(filepath.Join("testdata", "wallclock_optout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasPragma(out.Files, VirtualTimePragma) {
+		t.Error("optout fixture must not match: the pragma is an exact comment line, not prose")
+	}
+}
+
+// TestByName covers driver-facing analyzer lookup.
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the analyzer", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName should return nil for unknown analyzers")
+	}
+}
+
+// TestImportNames covers alias and double-import resolution.
+func TestImportNames(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "wallclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *ast.File
+	for _, file := range pkg.Files {
+		f = file
+	}
+	names := importNames(f, "time")
+	if len(names) != 2 || names[0] != "time" || names[1] != "reclock" {
+		t.Errorf("importNames = %v, want [time reclock]", names)
+	}
+}

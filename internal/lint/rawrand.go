@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// rawrandCtors are the math/rand package-level names that construct a local,
+// explicitly-seeded generator rather than touching the process-global source.
+// Everything else at package level (Intn, Float64, Perm, Shuffle, Seed, ...)
+// draws from — or reseeds — the shared global and is banned.
+var rawrandCtors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// Types, so `rand.Rand` / `rand.Source` in declarations stay legal.
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+// Rawrand forbids the math/rand global generator and ad-hoc seed arithmetic
+// outside internal/rng. Every random draw in the repository must flow through
+// an explicitly-seeded source whose seed comes off an rng.DeriveSeed label
+// path; the global generator is process-wide state that breaks run-to-run
+// reproducibility, and hand-rolled seed arithmetic (seed + run*7919) produces
+// correlated streams — the exact bug class PR 3 fixed twice.
+var Rawrand = &Analyzer{
+	Name: "rawrand",
+	Doc: "forbid math/rand global-generator use and ad-hoc seed arithmetic " +
+		"outside internal/rng (derive seeds with rng.DeriveSeed label paths)",
+	Match: func(path string) bool {
+		return !strings.HasSuffix(path, "internal/rng")
+	},
+	Run: runRawrand,
+}
+
+func runRawrand(pass *Pass) {
+	for _, f := range pass.Files {
+		names := make(map[string]bool) // local names binding math/rand{,/v2}
+		for _, p := range []string{"math/rand", "math/rand/v2"} {
+			for _, n := range importNames(f, p) {
+				if n == "." {
+					pass.Reportf(f.Name.Pos(), "dot import of %s defeats the rawrand lint", p)
+					continue
+				}
+				names[n] = true
+			}
+		}
+		rngName := ""
+		if ns := importNames(f, "incastproxy/internal/rng"); len(ns) > 0 {
+			rngName = ns[0]
+		}
+		if len(names) == 0 && rngName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkg, ok := n.X.(*ast.Ident)
+				if !ok || !names[pkg.Name] || rawrandCtors[n.Sel.Name] {
+					return true
+				}
+				if shadowed(pass, pkg) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"use of math/rand global %s.%s: draw from an explicitly-seeded source (rand.New(rand.NewSource(rng.DeriveSeed(...))))",
+					pkg.Name, n.Sel.Name)
+			case *ast.CallExpr:
+				checkSeedArg(pass, n, names, rngName)
+			}
+			return true
+		})
+	}
+}
+
+// shadowed reports whether ident resolves to something other than a package
+// name (a local variable shadowing the import). With partial type info the
+// syntactic match stands.
+func shadowed(pass *Pass, ident *ast.Ident) bool {
+	if obj := pass.Info.Uses[ident]; obj != nil {
+		_, isPkg := obj.(*types.PkgName)
+		return !isPkg
+	}
+	return false
+}
+
+// checkSeedArg flags a seed-accepting constructor (rand.New, rand.NewSource,
+// rng.New) whose first argument is ad-hoc arithmetic — a top-level binary
+// expression like seed+run*7919. Seeds must arrive whole: a literal, a
+// variable, or an rng.DeriveSeed call. Additive/multiplicative schemes
+// correlate the streams of adjacent runs, which is exactly what DeriveSeed's
+// SplitMix64 label paths exist to prevent.
+func checkSeedArg(pass *Pass, call *ast.CallExpr, names map[string]bool, rngName string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || shadowed(pass, pkg) {
+		return
+	}
+	seedCtor := (names[pkg.Name] && (sel.Sel.Name == "NewSource" || sel.Sel.Name == "New")) ||
+		(rngName != "" && pkg.Name == rngName && sel.Sel.Name == "New")
+	if !seedCtor {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if bin, ok := arg.(*ast.BinaryExpr); ok && arithmeticOp(bin.Op) {
+		pass.Reportf(arg.Pos(),
+			"ad-hoc seed arithmetic in %s.%s: derive child seeds with rng.DeriveSeed(base, labels...) instead",
+			pkg.Name, sel.Sel.Name)
+	}
+}
+
+func arithmeticOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.XOR, token.AND, token.OR, token.SHL, token.SHR, token.AND_NOT:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+// Package fixture exercises the errdrop analyzer: discarded write/encode
+// errors are flagged, explicit discards and infallible sinks pass.
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+)
+
+type manifest struct{}
+
+func (manifest) WriteJSON(w io.Writer) error { return nil }
+
+func drops(w io.Writer, c io.WriteCloser, m manifest) {
+	w.Write([]byte("x"))         // want `error result of w\.Write is discarded`
+	io.WriteString(w, "x")       // want `error result of io\.WriteString is discarded`
+	fmt.Fprintf(w, "x %d", 1)    // want `error result of fmt\.Fprintf is discarded`
+	m.WriteJSON(w)               // want `error result of m\.WriteJSON is discarded`
+	json.NewEncoder(w).Encode(m) // want `error result of Encode is discarded`
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()  // want `error result of bw\.Flush is discarded`
+	go m.WriteJSON(w) // want `error result of m\.WriteJSON is discarded`
+}
+
+func explicit(w io.Writer) {
+	_, _ = w.Write([]byte("best-effort: peer may already be gone"))
+}
+
+func handled(w io.Writer) error {
+	if _, err := w.Write([]byte("x")); err != nil {
+		return err
+	}
+	return nil
+}
+
+func infallible() string {
+	var b strings.Builder
+	b.WriteString("a")
+	fmt.Fprintf(&b, "%d", 1)
+	var buf bytes.Buffer
+	buf.Write([]byte("x"))
+	h := fnv.New64a()
+	h.Write([]byte("x"))
+	return b.String()
+}

@@ -1,0 +1,71 @@
+// Package fixture exercises the orphangoroutine analyzer: goroutines with no
+// WaitGroup, channel, select, or context coordination are flagged.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func orphan() {
+	go work()   // want `goroutine has no shutdown coordination`
+	go func() { // want `goroutine has no shutdown coordination`
+		for {
+			work()
+		}
+	}()
+}
+
+type server struct{}
+
+func (server) Serve() error { return nil }
+
+func orphanMethod(s server) {
+	go s.Serve() // want `goroutine has no shutdown coordination`
+}
+
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func doneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+func withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func channelArg(results chan<- int) {
+	go func() {
+		results <- 1
+	}()
+}
+
+func selectLoop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the rawrand analyzer: global-generator draws and
+// ad-hoc seed arithmetic are flagged, explicitly-seeded local sources pass.
+package fixture
+
+import "math/rand"
+
+func globals() {
+	_ = rand.Intn(10)  // want `use of math/rand global rand\.Intn`
+	_ = rand.Float64() // want `use of math/rand global rand\.Float64`
+	f := rand.Float64  // want `use of math/rand global rand\.Float64`
+	_ = f
+	rand.Shuffle(3, func(i, j int) {}) // want `use of math/rand global rand\.Shuffle`
+	rand.Seed(42)                      // want `use of math/rand global rand\.Seed`
+}
+
+func adHocSeeds(seed int64, run int) {
+	_ = rand.NewSource(seed + int64(run)*7919) // want `ad-hoc seed arithmetic in rand\.NewSource`
+}
+
+func legal(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	var src rand.Source = rand.NewSource(seed)
+	_ = src
+	return r.Float64() // draws on a local source are fine
+}
+
+// shadow proves a local named rand is not confused with the package.
+func shadow() int {
+	type fake struct{ Intn func(int) int }
+	rand := fake{Intn: func(n int) int { return 0 }}
+	return rand.Intn(3)
+}

@@ -1,0 +1,32 @@
+// lint:virtual-time
+
+// Package fixture exercises the suppression round trip: a reasoned
+// //lint:ignore hides the finding on its line or the next, an unused or
+// malformed suppression is itself reported, and an un-suppressed finding
+// still comes through.
+package fixture
+
+import "time"
+
+func suppressedAbove() time.Time {
+	//lint:ignore wallclock this fixture documents the line-above form
+	return time.Now()
+}
+
+func suppressedTrailing() {
+	time.Sleep(time.Millisecond) //lint:ignore wallclock trailing-comment form
+}
+
+func stillFlagged() time.Time {
+	return time.Now()
+}
+
+func unused() {
+	//lint:ignore wallclock nothing on the next line reads the clock
+	_ = time.Second
+}
+
+func malformed() {
+	//lint:ignore wallclock
+	_ = time.Second
+}

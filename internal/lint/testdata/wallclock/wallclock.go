@@ -1,0 +1,32 @@
+// lint:virtual-time
+
+// Package fixture exercises the wallclock analyzer: the pragma above opts
+// the package in, so every banned time call must be flagged.
+package fixture
+
+import (
+	"time"
+	reclock "time"
+)
+
+func reads() time.Duration {
+	start := time.Now()             // want `wall-clock call time\.Now`
+	time.Sleep(time.Millisecond)    // want `wall-clock call time\.Sleep`
+	_ = time.Since(start)           // want `wall-clock call time\.Since`
+	_ = time.Until(start)           // want `wall-clock call time\.Until`
+	t := time.NewTimer(time.Second) // want `wall-clock call time\.NewTimer`
+	defer t.Stop()
+	k := time.NewTicker(time.Second) // want `wall-clock call time\.NewTicker`
+	defer k.Stop()
+	<-time.After(time.Millisecond) // want `wall-clock call time\.After`
+	_ = reclock.Now()              // want `wall-clock call time\.Now`
+	return 3 * time.Second         // durations and constants stay legal
+}
+
+// shadow proves a local binding named like the import is not confused with
+// the package.
+func shadow() int {
+	type clock struct{ Now func() int }
+	time := clock{Now: func() int { return 0 }}
+	return time.Now()
+}

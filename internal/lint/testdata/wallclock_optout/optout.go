@@ -1,0 +1,11 @@
+// Package fixture has no lint:virtual-time-style pragma (the marker in this
+// sentence is prose, not an exact comment line), so the wallclock analyzer
+// must stay silent even though it reads the clock freely.
+package fixture
+
+import "time"
+
+func reads() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,3 +1,7 @@
+// lint:virtual-time
+// (pragma: opts this package into the wallclock analyzer — no wall-clock
+// reads in non-test sources; see internal/lint and DESIGN.md §12)
+
 // Package netsim implements the packet-level network simulator: packets,
 // byte-accurate output queues with RED-style ECN marking and NDP-style
 // packet trimming, store-and-forward ports joined by propagation-delay

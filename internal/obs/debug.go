@@ -23,7 +23,9 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		reg.Snapshot().WriteText(w)
+		// The only write failure here is the scraper disconnecting
+		// mid-response; net/http tears the conn down either way.
+		_ = reg.Snapshot().WriteText(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -40,7 +42,8 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 
 func writeSnapshotJSON(w http.ResponseWriter, s Snapshot) {
 	m := NewManifest(0, "live", s)
-	m.WriteJSON(w)
+	// As above: a failed write means the client went away mid-response.
+	_ = m.WriteJSON(w)
 }
 
 // ServeDebug listens on addr and serves the debug mux in a background

@@ -1,3 +1,7 @@
+// lint:virtual-time
+// (pragma: opts this package into the wallclock analyzer — no wall-clock
+// reads in non-test sources; see internal/lint and DESIGN.md §12)
+
 // Package obs is the unified observability layer: a zero-dependency
 // (stdlib-only) metrics registry, a structured event tracer, and a live
 // debug/introspection surface shared by the simulator, the transport, and

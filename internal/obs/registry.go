@@ -475,6 +475,6 @@ func (s Snapshot) WriteText(w io.Writer) error {
 // Text returns the Prometheus text serialization as a string.
 func (s Snapshot) Text() string {
 	var b strings.Builder
-	s.WriteText(&b)
+	_ = s.WriteText(&b) // strings.Builder writes cannot fail
 	return b.String()
 }

@@ -27,6 +27,7 @@ import (
 
 	"incastproxy/internal/control"
 	"incastproxy/internal/obs"
+	"incastproxy/internal/rng"
 	"incastproxy/internal/units"
 )
 
@@ -48,9 +49,12 @@ type DialPolicy struct {
 	// senders of an incast (default 0.2).
 	Jitter float64
 	// Rand supplies the jitter coin in [0,1); tests inject a seeded
-	// source for reproducibility (default math/rand). It need not be
-	// goroutine-safe: withDefaults serializes draws, since concurrent
-	// DialTarget calls share the policy.
+	// source for reproducibility. The default is a policy-local source
+	// seeded once from the wall clock through rng.DeriveSeed — never the
+	// math/rand process global, whose shared state would couple jitter
+	// draws across unrelated clients. It need not be goroutine-safe:
+	// withDefaults serializes draws, since concurrent DialTarget calls
+	// share the policy.
 	Rand func() float64
 }
 
@@ -70,16 +74,18 @@ func (p DialPolicy) withDefaults() DialPolicy {
 	if p.Jitter < 0 || p.Jitter >= 1 {
 		p.Jitter = 0.2
 	}
-	if p.Rand == nil {
-		p.Rand = rand.Float64
-	} else {
-		var mu sync.Mutex
-		inner := p.Rand
-		p.Rand = func() float64 {
-			mu.Lock()
-			defer mu.Unlock()
-			return inner()
-		}
+	inner := p.Rand
+	if inner == nil {
+		// Live-path jitter wants decorrelation, not reproducibility: seed a
+		// policy-local source off the wall clock, mixed through DeriveSeed so
+		// two policies created in the same nanosecond still diverge elsewhere.
+		inner = rand.New(rand.NewSource(rng.DeriveSeed(time.Now().UnixNano()))).Float64
+	}
+	var mu sync.Mutex
+	p.Rand = func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return inner()
 	}
 	return p
 }
@@ -253,6 +259,7 @@ func NewClient(cfg ClientConfig) *Client {
 		loopDone: make(chan struct{}),
 	}
 	if cfg.HealthInterval > 0 {
+		//lint:ignore orphangoroutine healthLoop selects on c.stop and closes c.loopDone; Close joins it
 		go c.healthLoop()
 	} else {
 		close(c.loopDone)

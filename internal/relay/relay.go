@@ -776,7 +776,7 @@ func writeError(c net.Conn, err error) {
 		msg = msg[:1024]
 	}
 	buf := wire.AppendHeader(nil, wire.Header{Kind: wire.KindError, Length: uint32(len(msg))})
-	c.Write(append(buf, msg...))
+	_, _ = c.Write(append(buf, msg...)) // best-effort: the peer may already be gone
 }
 
 // DialViaRelay opens a client connection through the relay at relayAddr to

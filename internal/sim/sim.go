@@ -1,3 +1,7 @@
+// lint:virtual-time
+// (pragma: opts this package into the wallclock analyzer — no wall-clock
+// reads in non-test sources; see internal/lint and DESIGN.md §12)
+
 // Package sim implements the discrete-event simulation engine underneath the
 // packet-level network simulator. It is a minimal htsim-style core: a
 // priority queue of timestamped events, a logical clock, and reusable timers.

@@ -1,3 +1,7 @@
+// lint:virtual-time
+// (pragma: opts this package into the wallclock analyzer — no wall-clock
+// reads in non-test sources; see internal/lint and DESIGN.md §12)
+
 // Package transport implements the DCTCP-like transport of §4.1: a
 // window-based sender that resets its congestion window on timeout,
 // decreases it on ECN-marked ACKs or NACKs, and increases it on unmarked

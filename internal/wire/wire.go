@@ -1,3 +1,7 @@
+// lint:virtual-time
+// (pragma: opts this package into the wallclock analyzer — no wall-clock
+// reads in non-test sources; see internal/lint and DESIGN.md §12)
+
 // Package wire defines the proxy protocol's binary header: the bytes the
 // streamlined proxy's packet program parses on the critical path, and the
 // framing the TCP relay uses for its dial preamble. The layout is fixed
