@@ -12,7 +12,7 @@ test:
 # under the race detector (the chaos, relay, and lan tests all exercise
 # real concurrency).
 check: lint
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 50m ./...
 
 # Static analysis: go vet plus the repo's own analyzer suite (internal/lint,
 # driven by cmd/lint) — wallclock (no wall-clock reads in packages carrying
@@ -46,21 +46,30 @@ bench:
 # BENCH_obs.json isolates the tracing/metrics instruments (tracer add,
 # span emit enabled vs nil, windowed-quantile observe) so the cost of the
 # observability layer is tracked on its own.
+# BENCH_sim_shard.json records the sharded-engine scaling sweep (events/sec
+# at shards 1/2/4 x worker counts vs the single-engine baseline); on a
+# single-core host the multi-worker rows measure synchronization overhead,
+# not speedup — see the benchmark's comment.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json $(BENCH_PKGS) > BENCH_control.json
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . >> BENCH_control.json
 	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/relay/ > BENCH_relay.json
 	$(GO) test -run '^$$' -bench 'Tracer|Span|WindowQuantile|Counter|Gauge|Histogram|Snapshot' -benchmem -json ./internal/obs/ > BENCH_obs.json
+	$(GO) test -run '^$$' -bench ShardedIncast -benchtime 3x -benchmem -json ./internal/workload/ > BENCH_sim_shard.json
 
 # The worker pool and everything routed through it must be race-clean; the
 # full suite runs under the detector (chaos, relay, and lan tests exercise
-# real concurrency too).
+# real concurrency too). The explicit timeout matches CI's race leg: the
+# detector's 5-15x slowdown pushes the workload suite past go test's 10m
+# default on small hosts.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 50m ./...
 
-# Focused race pass over the deterministic parallel runner and its callers.
+# Focused race pass over the deterministic parallel runner, the sharded
+# event engine (byte-identity across worker counts under the detector), and
+# their callers.
 race-runner:
-	$(GO) test -race ./internal/runner/ ./internal/workload/ .
+	$(GO) test -race -timeout 50m ./internal/sim/ ./internal/topo/ ./internal/runner/ ./internal/workload/ .
 
 # Short fuzz passes over the attacker-facing dial-preamble parser and the
 # -policy threshold parser (one -fuzz target per invocation, a go tool

@@ -27,6 +27,7 @@ func main() {
 		summary  = flag.Bool("summary", false, "print only §4.2-style mean reductions")
 		packets  = flag.Int("packets", 200_000, "samples for the CDF figures")
 		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial); output is byte-identical at any setting")
+		shards   = flag.Int("shards", 0, "event shards per simulation cell (0 = classic single engine); output is byte-identical at any setting")
 		policy   = flag.String("policy", "", "adaptive controller thresholds, key=value,... applied over defaults (-fig adaptive)")
 	)
 	flag.Parse()
@@ -36,6 +37,7 @@ func main() {
 		sweep = incastproxy.PaperSweep()
 	}
 	sweep.Parallel = *parallel
+	sweep.Shards = *shards
 	if *policy != "" {
 		cc, err := control.ParseConfig(*policy)
 		if err != nil {

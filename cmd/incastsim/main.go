@@ -40,6 +40,10 @@ func main() {
 		queueCSV    = flag.String("queue-csv", "", "write receiver/proxy down-ToR queue time series to this CSV file")
 		manifest    = flag.Bool("manifest", false, "print each run's manifest (seed, config hash)")
 		policyFlag  = flag.String("policy", "", "adaptive controller thresholds, key=value,... applied over defaults (scheme adaptive; see internal/control)")
+		shards      = flag.Int("shards", 0, "event shards for the parallel engine (0 = classic single engine; 2 = one per DC, up to 2+backbones); results are byte-identical at any setting; not supported with scheme adaptive")
+		shardWork   = flag.Int("shard-workers", 0, "goroutines driving the event shards (0 = one per shard); requires -shards")
+		leaves      = flag.Int("leaves", 0, "override leaf switches per DC (0 = default topology)")
+		servers     = flag.Int("servers-per-leaf", 0, "override servers per leaf (0 = default topology); raise with -leaves for 10k-sender epochs")
 	)
 	flag.Parse()
 
@@ -61,6 +65,12 @@ func main() {
 	}
 	topoCfg := incastproxy.DefaultTopo()
 	topoCfg.InterDelay = interLat
+	if *leaves > 0 {
+		topoCfg.Leaves = *leaves
+	}
+	if *servers > 0 {
+		topoCfg.ServersPerLeaf = *servers
+	}
 
 	schemes, err := parseSchemes(*schemeFlag)
 	if err != nil {
@@ -81,6 +91,8 @@ func main() {
 			Topo:            topoCfg,
 			NoEarlyFeedback: *noEarly,
 			IWScale:         *iwScale,
+			Shards:          *shards,
+			ShardWorkers:    *shardWork,
 		}
 		if s == incastproxy.SchemeAdaptive {
 			spec.Control = policy
@@ -117,6 +129,8 @@ func main() {
 		fmt.Printf("\n  timeouts=%d retx=%d nacks=%d  rxToR(max=%v drops=%d)  pxToR(max=%v trims=%d)\n",
 			rr.Timeouts, rr.Retransmits, rr.Nacks,
 			rr.ReceiverToRMaxQueue, rr.ReceiverToRDrops, rr.ProxyToRMaxQueue, rr.ProxyToRTrims)
+		fmt.Printf("  fct p50=%v p99=%v max=%v  events=%d\n",
+			rr.FlowFCT.P50, rr.FlowFCT.P99, rr.FlowFCT.Max, rr.Events)
 		if s == incastproxy.SchemeAdaptive {
 			fmt.Printf("  route=%s onsets=%d rehomed(flows=%d bytes=%v) kept-direct=%d steers=%v\n",
 				rr.FinalRoute, rr.Onsets, rr.RehomedFlows, rr.RehomedBytes, rr.KeptDirect, rr.Steers)

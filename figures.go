@@ -76,6 +76,13 @@ type SweepConfig struct {
 	// workers. Cell seeds are position-derived and results merge in cell
 	// order, so figure tables are byte-identical at any setting.
 	Parallel int
+
+	// Shards runs each cell on the sharded parallel engine
+	// (IncastSpec.Shards): 0 keeps the classic single engine, 2 gives
+	// each datacenter its own event shard. Results are byte-identical at
+	// any setting. Adaptive cells ignore it — their controller assumes
+	// one engine — so mixed sweeps stay valid.
+	Shards int
 }
 
 // PaperSweep returns §4's settings: 100 MB totals, degree 4 for the size
@@ -350,6 +357,9 @@ func runSweepSchemes(cfg SweepConfig, points []sweepPoint, schemes []Scheme) ([]
 			// The cells themselves are the unit of parallelism; their
 			// inner runs stay serial so the pool is not oversubscribed.
 			Parallel: 1,
+		}
+		if s != SchemeAdaptive {
+			sp.Shards = cfg.Shards
 		}
 		pt.customize(&sp)
 		res, err := workload.Run(sp)

@@ -58,9 +58,8 @@ func TestRateEstimator(t *testing.T) {
 // buildLink wires two hosts with one saturable link for signal tests.
 func buildLink(qc netsim.QueueConfig) (*sim.Engine, *netsim.Host, *netsim.Host, *netsim.Port) {
 	e := sim.New()
-	var ids uint64
-	a := netsim.NewHost(1, "a", &ids)
-	b := netsim.NewHost(2, "b", &ids)
+	a := netsim.NewHost(1, "a")
+	b := netsim.NewHost(2, "b")
 	pa, _ := netsim.Connect(a, b, 100*units.Gbps, units.Microsecond, qc, qc, rng.New(7))
 	return e, a, b, pa
 }

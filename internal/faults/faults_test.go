@@ -84,7 +84,7 @@ func TestFlapTakesBothDirectionsDown(t *testing.T) {
 
 func TestCrashHostRestart(t *testing.T) {
 	e := sim.New()
-	h := netsim.NewHost(1, "proxy", nil)
+	h := netsim.NewHost(1, "proxy")
 	peer := &sink{id: 2}
 	_, pb := netsim.Connect(h, peer, 100*units.Gbps, units.Microsecond,
 		netsim.QueueConfig{}, netsim.QueueConfig{}, nil)

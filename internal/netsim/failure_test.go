@@ -52,7 +52,7 @@ func TestPortDownIsPerDirection(t *testing.T) {
 
 func TestHostSetDownDropsBothDirections(t *testing.T) {
 	e := sim.New()
-	h := NewHost(1, "h", nil)
+	h := NewHost(1, "h")
 	peer := &sinkNode{id: 2}
 	_, pb := Connect(h, peer, 100*units.Gbps, units.Microsecond, QueueConfig{}, QueueConfig{}, nil)
 

@@ -16,19 +16,28 @@ const maxHops = 64
 // uniformly random next-hop per packet; otherwise it hashes the flow ID so
 // a flow sticks to one path.
 type Switch struct {
-	id     NodeID
-	name   string
-	ports  []*Port
-	fib    map[NodeID][]*Port
-	src    *rng.Source
-	spray  bool
-	Misses uint64 // packets with no FIB entry (dropped)
+	id       NodeID
+	name     string
+	ports    []*Port
+	fib      map[NodeID][]*Port
+	sprayKey uint64
+	spray    bool
+	Misses   uint64 // packets with no FIB entry (dropped)
 }
 
-// NewSwitch returns a switch with the given identity. src drives spraying
-// decisions; spray selects per-packet (true) or per-flow (false) ECMP.
+// NewSwitch returns a switch with the given identity. src seeds the
+// per-switch spraying key; spray selects per-packet (true) or per-flow
+// (false) ECMP. Per-packet spray choices are a hash of (switch key, packet
+// ID, hop count) rather than draws from a sequential stream, so a spray
+// decision depends only on the packet — never on the order simultaneous
+// packets happened to traverse the switch. That keeps sharded runs
+// byte-identical at any shard count while staying uniform and seeded.
 func NewSwitch(id NodeID, name string, src *rng.Source, spray bool) *Switch {
-	return &Switch{id: id, name: name, fib: make(map[NodeID][]*Port), src: src, spray: spray}
+	var key uint64
+	if src != nil {
+		key = uint64(src.Int63())
+	}
+	return &Switch{id: id, name: name, fib: make(map[NodeID][]*Port), sprayKey: key, spray: spray}
 }
 
 // ID implements Node.
@@ -66,7 +75,7 @@ func (s *Switch) Receive(e *sim.Engine, p *Packet, _ *Port) {
 	case len(next) == 1:
 		out = next[0]
 	case s.spray:
-		out = next[s.src.Intn(len(next))]
+		out = next[mix64(s.sprayKey^uint64(p.ID)+uint64(p.Hops)*0x9e3779b97f4a7c15)%uint64(len(next))]
 	default:
 		out = next[flowHash(p.Flow)%uint64(len(next))]
 	}
@@ -75,11 +84,27 @@ func (s *Switch) Receive(e *sim.Engine, p *Packet, _ *Port) {
 
 // flowHash is a fixed 64-bit mix (splitmix64 finalizer) for per-flow ECMP.
 func flowHash(f FlowID) uint64 {
-	x := uint64(f) + 0x9e3779b97f4a7c15
+	return mix64(uint64(f) + 0x9e3779b97f4a7c15)
+}
+
+// mix64 is the SplitMix64 avalanche finalizer.
+func mix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
 }
+
+// DeliveryKey is the same-instant tie-break rank a link delivery carries
+// (sim.Engine.ScheduleKeyed): a mix of the packet ID. The mix matters
+// twice: it is a bijection, so distinct packets never collide (a collision
+// would fall back to scheduling order, which is partition-dependent), and
+// it is never zero for real IDs, so deliveries always rank as keyed events
+// — arriving before any same-instant plain event such as a retransmission
+// timer. Raw IDs would also rank same-instant arrivals by (host, send
+// order), a systematic bias the mix destroys. Used by ports for local
+// deliveries and by the sharded runtime for cross-shard injections, so
+// both paths rank ties identically.
+func DeliveryKey(p *Packet) uint64 { return mix64(p.ID) }
 
 // Endpoint consumes packets delivered to a host for one flow. Transport
 // senders/receivers and proxy relays all implement Endpoint.
@@ -107,16 +132,16 @@ type Host struct {
 	// DroppedDown counts packets discarded (in either direction) while the
 	// host was crashed.
 	DroppedDown uint64
-	nextPkt     *uint64
+	pktSeq      uint64
 }
 
-// NewHost returns a host. pktIDs is the shared packet-ID counter for the
-// simulation (so IDs are unique fabric-wide); it may be nil for tests.
-func NewHost(id NodeID, name string, pktIDs *uint64) *Host {
-	if pktIDs == nil {
-		pktIDs = new(uint64)
-	}
-	return &Host{id: id, name: name, endpoints: make(map[FlowID]Endpoint), nextPkt: pktIDs}
+// NewHost returns a host. Packet IDs are allocated per host — the host ID
+// in the top 32 bits, a local counter below — so IDs stay unique
+// fabric-wide without any cross-host shared counter. (A shared counter
+// would be both a data race and a determinism leak once hosts run on
+// parallel shard engines: the interleaving would choose the IDs.)
+func NewHost(id NodeID, name string) *Host {
+	return &Host{id: id, name: name, endpoints: make(map[FlowID]Endpoint)}
 }
 
 // ID implements Node.
@@ -154,10 +179,11 @@ func (h *Host) SetDown(down bool) { h.down = down }
 // Down reports whether the host is crashed.
 func (h *Host) Down() bool { return h.down }
 
-// NewPacket allocates a packet originating at this host with a unique ID.
+// NewPacket allocates a packet originating at this host with a unique ID
+// (host ID in the top 32 bits, per-host counter below).
 func (h *Host) NewPacket() *Packet {
-	*h.nextPkt++
-	return &Packet{ID: *h.nextPkt, Src: h.id}
+	h.pktSeq++
+	return &Packet{ID: uint64(uint32(h.id))<<32 | h.pktSeq&0xffffffff, Src: h.id}
 }
 
 // Send transmits pkt out of the host NIC.

@@ -29,6 +29,7 @@ type Port struct {
 	busy    bool
 	down    bool
 	corrupt func(*Packet) bool
+	handoff func(at units.Time, pkt *Packet)
 	label   string
 }
 
@@ -94,6 +95,15 @@ func (p *Port) Down() bool { return p.down }
 // Pass nil to clear.
 func (p *Port) SetCorrupt(fn func(*Packet) bool) { p.corrupt = fn }
 
+// SetHandoff diverts this port's deliveries to fn instead of scheduling
+// them on the local engine: fn receives the arrival time (serialization end
+// plus the link's propagation delay) and the packet, and is responsible for
+// invoking Receive on the peer's owner at that time. The sharded runtime
+// installs handoffs on every boundary link so that cross-shard packets
+// travel through the shard group's deterministic inter-shard queues. Pass
+// nil to restore local delivery.
+func (p *Port) SetHandoff(fn func(at units.Time, pkt *Packet)) { p.handoff = fn }
+
 // SetTracer attaches (or, with nil, detaches) an event tracer to this
 // port's egress queue: every trim, drop, ECN mark, down-drop, and
 // corruption event is recorded as an instant on the packet's flow track.
@@ -151,10 +161,18 @@ func (p *Port) tryTransmit(e *sim.Engine) {
 		p.busy = false
 		// Propagation: the packet arrives at the peer after the
 		// one-way delay; the link is pipelined, so the next packet
-		// can start serializing immediately.
-		e.After(p.delay, func(e *sim.Engine) {
-			p.peer.owner.Receive(e, pkt, p.peer)
-		})
+		// can start serializing immediately. Deliveries are keyed by
+		// DeliveryKey so same-instant arrivals at a node execute in an
+		// order intrinsic to the packets — independent of how the
+		// fabric is sharded.
+		arrive := e.Now().Add(p.delay)
+		if p.handoff != nil {
+			p.handoff(arrive, pkt)
+		} else {
+			e.ScheduleKeyed(arrive, DeliveryKey(pkt), func(e *sim.Engine) {
+				p.peer.owner.Receive(e, pkt, p.peer)
+			})
+		}
 		p.tryTransmit(e)
 	})
 }

@@ -229,8 +229,7 @@ func TestRoutingLoopPanics(t *testing.T) {
 
 func TestHostDemuxAndCatchAll(t *testing.T) {
 	e := sim.New()
-	var ids uint64
-	h := NewHost(1, "h1", &ids)
+	h := NewHost(1, "h1")
 	src := &sinkNode{id: 2}
 	_, toHost := Connect(src, h, 100*units.Gbps, 0, QueueConfig{}, QueueConfig{}, nil)
 	_ = toHost
@@ -257,7 +256,7 @@ func TestHostDemuxAndCatchAll(t *testing.T) {
 }
 
 func TestHostUnclaimedCounter(t *testing.T) {
-	h := NewHost(1, "h1", nil)
+	h := NewHost(1, "h1")
 	p := dataPkt(1, 100)
 	h.Receive(sim.New(), p, nil)
 	if h.Unclaimed != 1 {
@@ -266,9 +265,8 @@ func TestHostUnclaimedCounter(t *testing.T) {
 }
 
 func TestHostPacketIDsUnique(t *testing.T) {
-	var ids uint64
-	h1 := NewHost(1, "h1", &ids)
-	h2 := NewHost(2, "h2", &ids)
+	h1 := NewHost(1, "h1")
+	h2 := NewHost(2, "h2")
 	seen := map[uint64]bool{}
 	for i := 0; i < 10; i++ {
 		a, b := h1.NewPacket(), h2.NewPacket()
@@ -280,7 +278,7 @@ func TestHostPacketIDsUnique(t *testing.T) {
 }
 
 func TestHostSingleNIC(t *testing.T) {
-	h := NewHost(1, "h1", nil)
+	h := NewHost(1, "h1")
 	other := &sinkNode{id: 2}
 	Connect(h, other, units.Gbps, 0, QueueConfig{}, QueueConfig{}, nil)
 	defer func() {
@@ -293,7 +291,7 @@ func TestHostSingleNIC(t *testing.T) {
 
 func TestHostSendReachesPeer(t *testing.T) {
 	e := sim.New()
-	h := NewHost(1, "h1", nil)
+	h := NewHost(1, "h1")
 	dst := &sinkNode{id: 2}
 	Connect(h, dst, 100*units.Gbps, units.Microsecond, QueueConfig{}, QueueConfig{}, nil)
 	pkt := h.NewPacket()

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeSnapshots folds several snapshots into one: counters with the same
+// name sum, gauges with the same name sum, and histograms with the same
+// name merge bucket-wise (their bounds must be identical, or the merge
+// panics — folding differently-bucketed histograms is a programming
+// error). Names present in only some snapshots pass through unchanged. The
+// result is sorted by name, exactly like Registry.Snapshot output, so equal
+// inputs produce byte-identical WriteText serializations.
+//
+// The sharded simulator uses this to fold its per-shard diagnostic
+// registries into a single view.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	counters := make(map[string]int64)
+	gauges := make(map[string]int64)
+	hists := make(map[string]*HistogramValue)
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[g.Name] += g.Value
+		}
+		for _, h := range s.Histograms {
+			acc, ok := hists[h.Name]
+			if !ok {
+				cp := HistogramValue{
+					Name:   h.Name,
+					Bounds: append([]int64(nil), h.Bounds...),
+					Counts: append([]uint64(nil), h.Counts...),
+					Sum:    h.Sum,
+					Count:  h.Count,
+				}
+				hists[h.Name] = &cp
+				continue
+			}
+			if len(acc.Bounds) != len(h.Bounds) {
+				panic(fmt.Sprintf("obs: merging histogram %q with mismatched bucket counts (%d vs %d)",
+					h.Name, len(acc.Bounds), len(h.Bounds)))
+			}
+			for i, b := range h.Bounds {
+				if acc.Bounds[i] != b {
+					panic(fmt.Sprintf("obs: merging histogram %q with mismatched bounds", h.Name))
+				}
+			}
+			for i, c := range h.Counts {
+				acc.Counts[i] += c
+			}
+			acc.Sum += h.Sum
+			acc.Count += h.Count
+		}
+	}
+
+	var out Snapshot
+	for name, v := range counters {
+		out.Counters = append(out.Counters, NamedValue{name, v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, NamedValue{name, v})
+	}
+	for _, h := range hists {
+		out.Histograms = append(out.Histograms, *h)
+	}
+	sortNamed := func(vs []NamedValue) {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Name < vs[j].Name })
+	}
+	sortNamed(out.Counters)
+	sortNamed(out.Gauges)
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}

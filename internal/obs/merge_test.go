@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func snapshotOf(build func(r *Registry)) Snapshot {
+	r := NewRegistry()
+	build(r)
+	return r.Snapshot()
+}
+
+func TestMergeSnapshotsSumsAndPassesThrough(t *testing.T) {
+	a := snapshotOf(func(r *Registry) {
+		r.Counter("pkts_total").Add(10)
+		r.Gauge("pending").Set(3)
+		r.Counter("only_a_total").Add(1)
+	})
+	b := snapshotOf(func(r *Registry) {
+		r.Counter("pkts_total").Add(32)
+		r.Gauge("pending").Set(4)
+		r.Gauge("only_b").Set(9)
+	})
+	m := MergeSnapshots(a, b)
+	if v, ok := m.Get("pkts_total"); !ok || v != 42 {
+		t.Errorf("pkts_total = %d (ok=%v), want 42", v, ok)
+	}
+	if v, ok := m.Get("pending"); !ok || v != 7 {
+		t.Errorf("pending = %d (ok=%v), want 7", v, ok)
+	}
+	if v, ok := m.Get("only_a_total"); !ok || v != 1 {
+		t.Errorf("only_a_total = %d (ok=%v), want 1", v, ok)
+	}
+	if v, ok := m.Get("only_b"); !ok || v != 9 {
+		t.Errorf("only_b = %d (ok=%v), want 9", v, ok)
+	}
+}
+
+func TestMergeSnapshotsHistogramsBucketwise(t *testing.T) {
+	bounds := []int64{10, 100, 1000}
+	a := snapshotOf(func(r *Registry) {
+		h := r.Histogram("lat_us", bounds)
+		h.Observe(5)
+		h.Observe(50)
+	})
+	b := snapshotOf(func(r *Registry) {
+		h := r.Histogram("lat_us", bounds)
+		h.Observe(50)
+		h.Observe(5000)
+	})
+	m := MergeSnapshots(a, b)
+	if len(m.Histograms) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(m.Histograms))
+	}
+	h := m.Histograms[0]
+	if h.Count != 4 || h.Sum != 5105 {
+		t.Errorf("count=%d sum=%d, want 4 and 5105", h.Count, h.Sum)
+	}
+	// Buckets: <=10 holds one 5, <=100 holds two 50s, <=1000 empty,
+	// +Inf overflow holds the 5000.
+	want := []uint64{1, 2, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+// Merge output must be sorted like Registry.Snapshot output: the merged
+// text serialization of one registry's snapshot equals the original's.
+func TestMergeSnapshotsDeterministicText(t *testing.T) {
+	build := func(r *Registry) {
+		r.Counter("z_total").Add(1)
+		r.Counter("a_total").Add(2)
+		r.Gauge("m").Set(5)
+		r.Histogram("h_us", []int64{1, 10}).Observe(3)
+	}
+	one := snapshotOf(build)
+	var direct, merged bytes.Buffer
+	if err := one.WriteText(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeSnapshots(one).WriteText(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), merged.Bytes()) {
+		t.Errorf("single-snapshot merge not idempotent:\n--- direct ---\n%s\n--- merged ---\n%s",
+			direct.Bytes(), merged.Bytes())
+	}
+}
+
+func TestMergeSnapshotsMismatchedBoundsPanics(t *testing.T) {
+	a := snapshotOf(func(r *Registry) { r.Histogram("h", []int64{1, 2}).Observe(1) })
+	b := snapshotOf(func(r *Registry) { r.Histogram("h", []int64{1, 3}).Observe(1) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched bounds did not panic")
+		}
+	}()
+	MergeSnapshots(a, b)
+}

@@ -60,6 +60,63 @@ func TestWindowQuantileAgeEviction(t *testing.T) {
 	}
 }
 
+// A sample whose timestamp lands exactly on the age cutoff is inside the
+// window: eviction keeps at[oldest] >= cutoff, so the bound is inclusive.
+func TestWindowQuantileSampleExactlyAtCutoff(t *testing.T) {
+	w := NewWindowQuantile(units.Duration(100), 16)
+	w.Observe(99, 1)  // one tick older than the cutoff: evicted
+	w.Observe(100, 2) // exactly at the cutoff: retained
+	w.Observe(150, 3)
+	w.Observe(200, 4) // newest; cutoff = 200 - 100 = 100
+	if got := w.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3 (cutoff is inclusive)", got)
+	}
+	if v, _ := w.Quantile(0.0001); v != 2 {
+		t.Fatalf("min = %d, want 2 (the exactly-at-cutoff sample)", v)
+	}
+}
+
+// Equal timestamps must never age-evict each other — their mutual age is
+// zero — even when they wrap the ring and trip the count bound.
+func TestWindowQuantileEqualTimestampsFillRing(t *testing.T) {
+	w := NewWindowQuantile(units.Duration(1), 4)
+	for i := int64(1); i <= 10; i++ {
+		w.Observe(units.Time(500), i)
+	}
+	if got := w.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4 (count bound only)", got)
+	}
+	if got := w.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	// The ring holds the last four values, 7..10.
+	if v, _ := w.Quantile(1); v != 10 {
+		t.Fatalf("p100 = %d, want 10", v)
+	}
+	if v, _ := w.Quantile(0.0001); v != 7 {
+		t.Fatalf("min = %d, want 7", v)
+	}
+}
+
+// When the age window is smaller than the gap between observations, every
+// arrival evicts everything before it: the window degenerates to the single
+// newest sample instead of underflowing or going negative.
+func TestWindowQuantileWindowSmallerThanGap(t *testing.T) {
+	w := NewWindowQuantile(units.Duration(10), 16)
+	for i := int64(0); i < 5; i++ {
+		w.Observe(units.Time(i*1000), i+1)
+		if got := w.Count(); got != 1 {
+			t.Fatalf("after sample %d: count = %d, want 1", i+1, got)
+		}
+		if v, ok := w.Quantile(0.5); !ok || v != i+1 {
+			t.Fatalf("after sample %d: p50 = %d (ok=%v), want %d", i+1, v, ok, i+1)
+		}
+	}
+	if got := w.Total(); got != 5 {
+		t.Fatalf("total = %d, want 5", got)
+	}
+}
+
 func TestWindowQuantileNilSafety(t *testing.T) {
 	var w *WindowQuantile
 	w.Observe(0, 1)

@@ -21,10 +21,9 @@ type chain struct {
 func newChain(t testing.TB, q netsim.QueueConfig) *chain {
 	t.Helper()
 	e := sim.New()
-	var ids uint64
-	snd := netsim.NewHost(1, "snd", &ids)
-	prx := netsim.NewHost(2, "prx", &ids)
-	rcv := netsim.NewHost(3, "rcv", &ids)
+	snd := netsim.NewHost(1, "snd")
+	prx := netsim.NewHost(2, "prx")
+	rcv := netsim.NewHost(3, "rcv")
 	sw := netsim.NewSwitch(10, "sw", rng.New(5), false)
 	rate := 10 * units.Gbps
 	_, swToSnd := netsim.Connect(snd, sw, rate, 5*units.Microsecond, q, q, rng.New(1))

@@ -1,0 +1,173 @@
+package sim
+
+import "testing"
+
+// The clock contract: a non-stopped RunUntil exit leaves the clock at the
+// deadline, even when the window held no events at all. The shard barrier
+// depends on this — horizons with no local work must still move time.
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	e := New()
+	e.Schedule(10, func(*Engine) {})
+	e.Schedule(100, func(*Engine) {})
+
+	if got := e.RunUntil(50); got != 50 {
+		t.Fatalf("RunUntil(50) = %v, want 50", got)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %v after RunUntil(50), want 50", e.Now())
+	}
+
+	// An entirely event-free window still advances.
+	if got := e.RunUntil(70); got != 70 {
+		t.Fatalf("RunUntil(70) = %v, want 70", got)
+	}
+
+	// The queued later event is untouched and runs at its own time.
+	if got := e.RunUntil(200); got != 200 {
+		t.Fatalf("RunUntil(200) = %v, want 200", got)
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("processed = %d, want 2", e.Processed())
+	}
+}
+
+// Run (the MaxTime sentinel) keeps the historical behavior: it returns the
+// last executed event's time, not some deadline.
+func TestRunReturnsLastEventTime(t *testing.T) {
+	e := New()
+	e.Schedule(10, func(*Engine) {})
+	e.Schedule(42, func(*Engine) {})
+	if got := e.Run(); got != 42 {
+		t.Fatalf("Run() = %v, want 42", got)
+	}
+}
+
+// A Stop issued while no run is in progress is sticky: the next run consumes
+// it and returns immediately without executing anything or moving the clock.
+func TestStopBeforeRunIsSticky(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(5, func(*Engine) { ran = true })
+
+	e.Stop()
+	if got := e.RunUntil(100); got != 0 {
+		t.Fatalf("stopped RunUntil = %v, want 0 (frozen clock)", got)
+	}
+	if ran {
+		t.Fatal("event ran despite pending stop")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+
+	// The stop is consumed exactly once: the next run proceeds normally
+	// and, being non-stopped, advances to the deadline.
+	if got := e.RunUntil(100); got != 100 {
+		t.Fatalf("second RunUntil = %v, want 100", got)
+	}
+	if !ran {
+		t.Fatal("event did not run after consuming the stop")
+	}
+}
+
+// A Stop issued by an event freezes the clock at that event and is likewise
+// consumed exactly once.
+func TestStopInsideEventFreezesClock(t *testing.T) {
+	e := New()
+	e.Schedule(7, func(e *Engine) { e.Stop() })
+	e.Schedule(50, func(*Engine) {})
+
+	if got := e.RunUntil(100); got != 7 {
+		t.Fatalf("stopped RunUntil = %v, want 7", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (later event stays queued)", e.Pending())
+	}
+	// Consumed: resuming runs the rest and advances to the deadline.
+	if got := e.RunUntil(100); got != 100 {
+		t.Fatalf("resumed RunUntil = %v, want 100", got)
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("processed = %d, want 2", e.Processed())
+	}
+}
+
+// Keyed events at one instant run in key order, ahead of plain (key 0)
+// events, regardless of scheduling order; equal keys keep FIFO.
+func TestScheduleKeyedOrdering(t *testing.T) {
+	e := New()
+	var order []string
+	rec := func(name string) Event {
+		return func(*Engine) { order = append(order, name) }
+	}
+	// Scheduled deliberately out of rank order.
+	e.Schedule(10, rec("plain-a"))
+	e.ScheduleKeyed(10, 30, rec("k30"))
+	e.ScheduleKeyed(10, 20, rec("k20-first"))
+	e.Schedule(10, rec("plain-b"))
+	e.ScheduleKeyed(10, 20, rec("k20-second"))
+
+	e.Run()
+	want := []string{"k20-first", "k20-second", "k30", "plain-a", "plain-b"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Key ranks only separate events at the same instant; time still dominates.
+func TestScheduleKeyedTimeDominatesKey(t *testing.T) {
+	e := New()
+	var order []int
+	e.ScheduleKeyed(20, 1, func(*Engine) { order = append(order, 20) })
+	e.ScheduleKeyed(10, 99, func(*Engine) { order = append(order, 10) })
+	e.Run()
+	if len(order) != 2 || order[0] != 10 || order[1] != 20 {
+		t.Fatalf("order = %v, want [10 20]", order)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := New()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt on empty engine reported an event")
+	}
+	e.Schedule(30, func(*Engine) {})
+	e.Schedule(10, func(*Engine) {})
+	if at, ok := e.NextEventAt(); !ok || at != 10 {
+		t.Fatalf("NextEventAt = %v,%v, want 10,true", at, ok)
+	}
+	e.RunUntil(15)
+	if at, ok := e.NextEventAt(); !ok || at != 30 {
+		t.Fatalf("NextEventAt after partial run = %v,%v, want 30,true", at, ok)
+	}
+}
+
+func TestScheduledCountsKeyedAndPlain(t *testing.T) {
+	e := New()
+	e.Schedule(1, func(*Engine) {})
+	e.ScheduleKeyed(2, 7, func(*Engine) {})
+	if e.Scheduled() != 2 {
+		t.Fatalf("Scheduled = %d, want 2", e.Scheduled())
+	}
+}
+
+// Recycled event records must not leak a previous ScheduleKeyed key into a
+// later plain Schedule.
+func TestRecycledEventResetsKey(t *testing.T) {
+	e := New()
+	e.ScheduleKeyed(5, 123, func(*Engine) {})
+	e.Run() // record returns to the free list with key 123
+
+	var order []string
+	e.Schedule(10, func(*Engine) { order = append(order, "recycled-plain") })
+	e.ScheduleKeyed(10, 1, func(*Engine) { order = append(order, "keyed") })
+	e.Run()
+	if len(order) != 2 || order[0] != "keyed" || order[1] != "recycled-plain" {
+		t.Fatalf("order = %v, want [keyed recycled-plain]", order)
+	}
+}

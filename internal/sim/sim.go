@@ -29,7 +29,17 @@ import (
 type Event func(*Engine)
 
 type scheduledEvent struct {
-	at  units.Time
+	at units.Time
+	// key is a caller-supplied tie-break rank for events at the same
+	// instant (ScheduleKeyed). Keyed events order by key and run before
+	// any plain Schedule/After event (key 0) at the same instant; plain
+	// events keep strict FIFO order among themselves. Keyed ordering lets
+	// link deliveries carry an intrinsic, engine-independent rank — the
+	// property the sharded runtime needs for byte-identical runs at any
+	// shard count — and arrivals-before-timers keeps a retransmission
+	// timer that lands exactly on its ACK's arrival instant from firing
+	// spuriously.
+	key uint64
 	seq uint64
 	fn  Event
 	// gen increments every time the record returns to the free list, so a
@@ -45,6 +55,21 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	ki, kj := h[i].key, h[j].key
+	if ki != kj {
+		// Keyed events (deliveries) run before plain events (key 0 →
+		// rank MaxUint64): an arrival coinciding with a local timer is
+		// processed first, mirroring the wire beating the clock.
+		if ki == 0 {
+			ki = ^uint64(0)
+		}
+		if kj == 0 {
+			kj = ^uint64(0)
+		}
+		if ki != kj {
+			return ki < kj
+		}
 	}
 	return h[i].seq < h[j].seq
 }
@@ -123,6 +148,7 @@ func (e *Engine) acquire(at units.Time, fn Event) *scheduledEvent {
 		ev = new(scheduledEvent)
 	}
 	ev.at = at
+	ev.key = 0
 	ev.seq = e.seq
 	ev.fn = fn
 	return ev
@@ -158,6 +184,23 @@ func (e *Engine) scheduleEvent(at units.Time, fn Event) *scheduledEvent {
 	return ev
 }
 
+// ScheduleKeyed runs fn at the absolute time at, with key (which must be
+// nonzero) ranking it among same-instant events: lower keys run first, and
+// every keyed event runs before the plain Schedule/After events (key 0) at
+// that instant. Events with equal keys keep FIFO order. Link deliveries use
+// a packet-ID hash as the key so that same-instant arrival order is a
+// function of the packets alone, not of the order the delivery events
+// happened to be scheduled in — the invariant that keeps sharded runs
+// byte-identical at any shard count. Running arrivals before plain events
+// (timers) preserves the serial engine's emergent behavior that an ACK
+// arriving at the exact instant its retransmission timer expires cancels
+// the timer rather than losing the race to it.
+func (e *Engine) ScheduleKeyed(at units.Time, key uint64, fn Event) {
+	ev := e.scheduleEvent(at, fn)
+	ev.key = key
+	heap.Fix(&e.events, ev.index)
+}
+
 // After runs fn after delay d.
 func (e *Engine) After(d units.Duration, fn Event) {
 	if d < 0 {
@@ -167,7 +210,9 @@ func (e *Engine) After(d units.Duration, fn Event) {
 }
 
 // Stop halts Run/RunUntil after the current event returns. Remaining events
-// stay queued.
+// stay queued. A Stop issued while no run is in progress is sticky: the next
+// Run/RunUntil consumes it and returns immediately, without executing any
+// event or advancing the clock.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called. It returns
@@ -175,10 +220,14 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() units.Time { return e.RunUntil(units.MaxTime) }
 
 // RunUntil executes events with timestamps <= deadline. Events scheduled
-// beyond the deadline remain queued; the clock does not advance past the
-// last executed event (or the deadline if no event ran at it).
+// beyond the deadline remain queued. On a non-stopped exit the clock
+// advances to the deadline (so back-to-back RunUntil calls see time move
+// even through event-free windows — the shard barrier depends on this);
+// Run's MaxTime sentinel is exempt, so Run keeps returning the last event's
+// time. A pending Stop — whether issued by an event during this run or
+// left over from before it — is consumed exactly once and freezes the
+// clock where the last executed event left it.
 func (e *Engine) RunUntil(deadline units.Time) units.Time {
-	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		next := e.events[0]
 		if next.at > deadline {
@@ -193,8 +242,28 @@ func (e *Engine) RunUntil(deadline units.Time) units.Time {
 		e.processed++
 		fn(e)
 	}
+	if e.stopped {
+		e.stopped = false
+		return e.now
+	}
+	if deadline != units.MaxTime && deadline > e.now {
+		e.now = deadline
+	}
 	return e.now
 }
+
+// NextEventAt returns the timestamp of the earliest queued event, or
+// ok=false when the queue is empty. Shard barriers use it to compute the
+// global lookahead horizon.
+func (e *Engine) NextEventAt() (units.Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// Scheduled returns the number of events ever scheduled on this engine.
+func (e *Engine) Scheduled() uint64 { return e.seq }
 
 // Step executes exactly one event if any is pending, reporting whether one
 // ran.

@@ -11,14 +11,60 @@ import (
 	"sort"
 	"strings"
 
+	"incastproxy/internal/rng"
 	"incastproxy/internal/units"
 )
 
-// Sample accumulates float64 observations. The zero value is ready to use.
+// Sample accumulates float64 observations. The zero value is ready to use
+// and stores every observation exactly; NewBounded returns a Sample whose
+// memory stays constant no matter how many observations arrive.
 type Sample struct {
+	// values holds every observation in exact mode, or the reservoir in
+	// bounded mode.
 	values []float64
 	sorted bool
+
+	// Bounded mode (NewBounded). bound > 0 selects it: moments stream
+	// through Welford's recurrence while values becomes a fixed-size
+	// uniform reservoir (Vitter's Algorithm R) used only for percentiles.
+	bound  int
+	src    *rng.Source
+	count  int64
+	mu, m2 float64
+	lo, hi float64
 }
+
+// boundedSampleLabel namespaces the reservoir's RNG stream under
+// rng.DeriveSeed so a bounded sample never shares a stream with any other
+// consumer of the same base seed.
+const boundedSampleLabel = 0x5e5e
+
+// NewBounded returns a Sample whose memory footprint is fixed at capacity
+// observations regardless of how many are added. Count, mean, min, max, and
+// standard deviation stay exact (streamed); percentiles are estimated from a
+// uniform reservoir of at most capacity observations. Replacement decisions
+// draw from a deterministic stream derived from seed via rng.DeriveSeed, so
+// two bounded samples fed identical observations in identical order with the
+// same seed report byte-identical results — which is what lets the sharded
+// workload path summarize per-flow completion times at 10k-sender scale
+// without unbounded buffers and without breaking cross-shard-count
+// reproducibility.
+func NewBounded(capacity int, seed int64) *Sample {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Sample{
+		bound: capacity,
+		src:   rng.New(rng.DeriveSeed(seed, boundedSampleLabel)),
+	}
+}
+
+// Bounded reports whether the sample was built by NewBounded.
+func (s *Sample) Bounded() bool { return s.bound > 0 }
+
+// ReservoirN returns how many observations the percentile reservoir
+// currently holds: min(N, capacity) in bounded mode, N otherwise.
+func (s *Sample) ReservoirN() int { return len(s.values) }
 
 // Add appends an observation. NaN observations are dropped: one NaN would
 // poison every aggregate (mean, percentiles, CDF ranks) and break the sort
@@ -27,18 +73,58 @@ func (s *Sample) Add(v float64) {
 	if math.IsNaN(v) {
 		return
 	}
+	if s.bound > 0 {
+		s.addBounded(v)
+		return
+	}
 	s.values = append(s.values, v)
 	s.sorted = false
+}
+
+func (s *Sample) addBounded(v float64) {
+	s.count++
+	if s.count == 1 || v < s.lo {
+		s.lo = v
+	}
+	if s.count == 1 || v > s.hi {
+		s.hi = v
+	}
+	d := v - s.mu
+	s.mu += d / float64(s.count)
+	s.m2 += d * (v - s.mu)
+
+	// Algorithm R: the first bound observations fill the reservoir; the
+	// k-th observation then replaces a uniformly random slot with
+	// probability bound/k, keeping every prefix a uniform sample.
+	if len(s.values) < s.bound {
+		s.values = append(s.values, v)
+		s.sorted = false
+		return
+	}
+	if j := s.src.Intn(int(s.count)); j < s.bound {
+		s.values[j] = v
+		s.sorted = false
+	}
 }
 
 // AddDuration appends a duration observation in picoseconds.
 func (s *Sample) AddDuration(d units.Duration) { s.Add(float64(d)) }
 
-// N returns the number of observations.
-func (s *Sample) N() int { return len(s.values) }
+// N returns the number of observations, including (in bounded mode) those
+// no longer held in the reservoir.
+func (s *Sample) N() int {
+	if s.bound > 0 {
+		return int(s.count)
+	}
+	return len(s.values)
+}
 
-// Mean returns the arithmetic mean, or 0 for an empty sample.
+// Mean returns the arithmetic mean, or 0 for an empty sample. Exact in both
+// modes.
 func (s *Sample) Mean() float64 {
+	if s.bound > 0 {
+		return s.mu
+	}
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -49,8 +135,12 @@ func (s *Sample) Mean() float64 {
 	return sum / float64(len(s.values))
 }
 
-// Min returns the smallest observation, or 0 for an empty sample.
+// Min returns the smallest observation, or 0 for an empty sample. Exact in
+// both modes.
 func (s *Sample) Min() float64 {
+	if s.bound > 0 {
+		return s.lo
+	}
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -58,8 +148,12 @@ func (s *Sample) Min() float64 {
 	return s.values[0]
 }
 
-// Max returns the largest observation, or 0 for an empty sample.
+// Max returns the largest observation, or 0 for an empty sample. Exact in
+// both modes.
 func (s *Sample) Max() float64 {
+	if s.bound > 0 {
+		return s.hi
+	}
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -67,8 +161,15 @@ func (s *Sample) Max() float64 {
 	return s.values[len(s.values)-1]
 }
 
-// Stddev returns the sample standard deviation.
+// Stddev returns the sample standard deviation. Exact in both modes (bounded
+// mode streams the second moment with Welford's recurrence).
 func (s *Sample) Stddev() float64 {
+	if s.bound > 0 {
+		if s.count < 2 {
+			return 0
+		}
+		return math.Sqrt(s.m2 / float64(s.count-1))
+	}
 	n := len(s.values)
 	if n < 2 {
 		return 0
@@ -85,7 +186,9 @@ func (s *Sample) Stddev() float64 {
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
 // interpolation between closest ranks. It returns 0 for an empty sample and
 // NaN for a NaN p; p outside [0, 100] (including ±Inf) clamps to the
-// extremes rather than extrapolating past the observed range.
+// extremes rather than extrapolating past the observed range. In bounded
+// mode the rank is taken over the reservoir, so once N exceeds the capacity
+// the result is a uniform-subsample estimate, not the exact order statistic.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.values) == 0 {
 		return 0
@@ -120,7 +223,8 @@ func (s *Sample) sort() {
 	}
 }
 
-// Values returns a sorted copy of the observations.
+// Values returns a sorted copy of the stored observations (the reservoir,
+// in bounded mode).
 func (s *Sample) Values() []float64 {
 	s.sort()
 	out := make([]float64, len(s.values))

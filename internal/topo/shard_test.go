@@ -1,0 +1,130 @@
+package topo
+
+import (
+	"testing"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/sim"
+	"incastproxy/internal/units"
+)
+
+func shardTestConfig() Config {
+	return Config{
+		Spines:            2,
+		Leaves:            2,
+		ServersPerLeaf:    2,
+		Backbones:         2,
+		BackbonesPerSpine: 1,
+		LinkRate:          10 * units.Gbps,
+		IntraDelay:        units.Microsecond,
+		InterDelay:        100 * units.Microsecond,
+		Spray:             true,
+		Seed:              1,
+	}
+}
+
+func TestPlanShardsAssignments(t *testing.T) {
+	cfg := shardTestConfig()
+
+	p1, err := PlanShards(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.DCShard(0) != 0 || p1.DCShard(1) != 0 || p1.BackboneShard(0) != 0 || p1.BackboneShard(1) != 0 {
+		t.Fatal("n=1 must map everything to shard 0")
+	}
+
+	p2, err := PlanShards(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.DCShard(0) != 0 || p2.DCShard(1) != 1 {
+		t.Fatal("n=2 must split the DCs")
+	}
+	if p2.BackboneShard(0) != 0 || p2.BackboneShard(1) != 1 {
+		t.Fatalf("n=2 backbone shards = %d,%d, want 0,1", p2.BackboneShard(0), p2.BackboneShard(1))
+	}
+	if p2.Lookahead != cfg.InterDelay {
+		t.Fatalf("lookahead = %v, want InterDelay %v", p2.Lookahead, cfg.InterDelay)
+	}
+
+	p4, err := PlanShards(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.BackboneShard(0) != 2 || p4.BackboneShard(1) != 3 {
+		t.Fatalf("n=4 backbone shards = %d,%d, want 2,3", p4.BackboneShard(0), p4.BackboneShard(1))
+	}
+}
+
+func TestPlanShardsRejectsBadConfigs(t *testing.T) {
+	cfg := shardTestConfig()
+	if _, err := PlanShards(cfg, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := PlanShards(cfg, 5); err == nil {
+		t.Error("more shards than separable components accepted")
+	}
+	bad := cfg
+	bad.InterDelay = 0
+	if _, err := PlanShards(bad, 2); err == nil {
+		t.Error("sharding with zero InterDelay accepted")
+	}
+	if _, err := PlanShards(bad, 1); err != nil {
+		t.Errorf("single shard must not need InterDelay: %v", err)
+	}
+}
+
+// A packet routed DC0 -> DC1 on a bound fabric must cross through the
+// group's deterministic handoff queues and still arrive.
+func TestBindShardsDeliversAcrossCut(t *testing.T) {
+	cfg := shardTestConfig()
+	for _, shards := range []int{1, 2, 4} {
+		plan, err := PlanShards(cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := plan.NewGroup(shards)
+		net := Build(g.Engine(plan.DCShard(0)), cfg)
+		BindShards(net, g, plan)
+
+		src := net.Hosts[0][0]
+		dst := net.Hosts[1][3]
+		delivered := 0
+		dst.SetCatchAll(netsim.EndpointFunc(func(e *sim.Engine, p *netsim.Packet) {
+			delivered++
+		}))
+
+		g.Engine(plan.DCShard(0)).Schedule(0, func(e *sim.Engine) {
+			pkt := src.NewPacket()
+			pkt.Dst = dst.ID()
+			pkt.Size = 1500
+			pkt.FullSize = 1500
+			src.Send(e, pkt)
+		})
+		g.Run()
+
+		if delivered != 1 {
+			t.Fatalf("shards=%d: delivered = %d, want 1", shards, delivered)
+		}
+		if shards > 1 && g.CrossEvents() == 0 {
+			t.Fatalf("shards=%d: packet crossed no shard boundary", shards)
+		}
+	}
+}
+
+func TestBindShardsRejectsMismatchedGroup(t *testing.T) {
+	cfg := shardTestConfig()
+	plan, err := PlanShards(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sim.NewShardGroup(3, cfg.InterDelay, 1)
+	net := Build(g.Engine(0), cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched shard counts did not panic")
+		}
+	}()
+	BindShards(net, g, plan)
+}

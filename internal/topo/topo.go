@@ -10,6 +10,7 @@ package topo
 
 import (
 	"fmt"
+	"sync"
 
 	"incastproxy/internal/netsim"
 	"incastproxy/internal/obs"
@@ -107,8 +108,17 @@ type Network struct {
 	Backbones []*netsim.Switch
 
 	nodes  map[netsim.NodeID]netsim.Node
-	pktIDs uint64
 	nextID netsim.NodeID
+
+	// Path-query caches. The fabric is static after Build, so the
+	// adjacency map is computed once and BFS distance maps are memoized
+	// per queried root: sizing 10k senders' windows asks for paths to the
+	// same one or two destinations 10k times, and without the cache that
+	// BFS dominated large builds. Guarded by pathMu because parallel
+	// sweeps may share nothing but read concurrently is cheap insurance.
+	pathMu    sync.Mutex
+	adj       map[netsim.NodeID][]netsim.NodeID
+	distCache map[netsim.NodeID]map[netsim.NodeID]int
 }
 
 // Build constructs the two-DC fabric. It panics on invalid configuration
@@ -135,7 +145,7 @@ func Build(e *sim.Engine, cfg Config) *Network {
 		}
 		for l := 0; l < cfg.Leaves; l++ {
 			for i := 0; i < cfg.ServersPerLeaf; i++ {
-				h := netsim.NewHost(n.allocID(), fmt.Sprintf("dc%d/h%d", dc, l*cfg.ServersPerLeaf+i), &n.pktIDs)
+				h := netsim.NewHost(n.allocID(), fmt.Sprintf("dc%d/h%d", dc, l*cfg.ServersPerLeaf+i))
 				n.register(h)
 				n.Hosts[dc] = append(n.Hosts[dc], h)
 				// Host <-> leaf: leaf egress uses the ToR queue
@@ -186,30 +196,85 @@ func (n *Network) Host(dc, leaf, idx int) *netsim.Host {
 }
 
 // computeFIBs installs shortest-path ECMP routes toward every host on every
-// switch via breadth-first search from each host.
+// switch. A host's only neighbor is its leaf, so its distance map is the
+// leaf's shifted by one (with the host itself at zero): one BFS per leaf
+// covers every server under it, which is what keeps 10k-host builds cheap.
+// For each leaf, the qualifying next-hop ports of every switch (those one
+// hop closer to the leaf, in Ports() order — the order fixes the ECMP
+// spray set) are collected once and replayed per hosted server; the leaf
+// itself routes each server out its direct port.
 func (n *Network) computeFIBs() {
-	adj := n.adjacency()
+	adj := n.adjacencyLocked()
+	switches := n.Switches()
 	for dc := 0; dc < 2; dc++ {
-		for _, h := range n.Hosts[dc] {
-			dist := bfs(h.ID(), adj)
-			for id, node := range n.nodes {
-				sw, ok := node.(*netsim.Switch)
-				if !ok {
+		for leafIdx, leaf := range n.Leaves[dc] {
+			dist := bfs(leaf.ID(), adj)
+			type swPorts struct {
+				sw    *netsim.Switch
+				ports []*netsim.Port
+			}
+			table := make([]swPorts, 0, len(switches))
+			for _, sw := range switches {
+				if sw == leaf {
 					continue
 				}
-				d, reachable := dist[id]
+				d, reachable := dist[sw.ID()]
 				if !reachable {
 					continue
 				}
+				var toward []*netsim.Port
 				for _, p := range sw.Ports() {
-					peer := p.Peer().Owner().ID()
-					if pd, ok := dist[peer]; ok && pd == d-1 {
-						sw.AddRoute(h.ID(), p)
+					if pd, ok := dist[p.Peer().Owner().ID()]; ok && pd == d-1 {
+						toward = append(toward, p)
+					}
+				}
+				table = append(table, swPorts{sw, toward})
+			}
+			lo, hi := leafIdx*n.Cfg.ServersPerLeaf, (leafIdx+1)*n.Cfg.ServersPerLeaf
+			for _, h := range n.Hosts[dc][lo:hi] {
+				for _, e := range table {
+					for _, p := range e.ports {
+						e.sw.AddRoute(h.ID(), p)
+					}
+				}
+				for _, p := range leaf.Ports() {
+					if p.Peer().Owner().ID() == h.ID() {
+						leaf.AddRoute(h.ID(), p)
+						break
 					}
 				}
 			}
 		}
 	}
+}
+
+// adjacencyLocked returns the cached adjacency map, building it on first
+// use (the fabric never changes after Build).
+func (n *Network) adjacencyLocked() map[netsim.NodeID][]netsim.NodeID {
+	n.pathMu.Lock()
+	defer n.pathMu.Unlock()
+	if n.adj == nil {
+		n.adj = n.adjacency()
+	}
+	return n.adj
+}
+
+// distTo returns the memoized BFS distance map rooted at root.
+func (n *Network) distTo(root netsim.NodeID) map[netsim.NodeID]int {
+	n.pathMu.Lock()
+	defer n.pathMu.Unlock()
+	if n.adj == nil {
+		n.adj = n.adjacency()
+	}
+	if n.distCache == nil {
+		n.distCache = make(map[netsim.NodeID]map[netsim.NodeID]int)
+	}
+	if d, ok := n.distCache[root]; ok {
+		return d
+	}
+	d := bfs(root, n.adj)
+	n.distCache[root] = d
+	return d
 }
 
 // adjacency maps each node to its neighbors.
@@ -292,8 +357,7 @@ func (n *Network) pathLinks(a, b *netsim.Host) []linkInfo {
 	if a == b {
 		return nil
 	}
-	adj := n.adjacency()
-	dist := bfs(b.ID(), adj)
+	dist := n.distTo(b.ID())
 	var links []linkInfo
 	cur := netsim.Node(a)
 	for cur.ID() != b.ID() {

@@ -42,9 +42,8 @@ func TestPropertyTransportInvariants(t *testing.T) {
 		delay := units.Duration(int(delayUS)%40+2) * units.Microsecond
 
 		e := sim.New()
-		var ids uint64
-		src := netsim.NewHost(1, "src", &ids)
-		dst := netsim.NewHost(2, "dst", &ids)
+		src := netsim.NewHost(1, "src")
+		dst := netsim.NewHost(2, "dst")
 		q := netsim.QueueConfig{Capacity: capacity, Trim: trim, MarkLow: capacity / 4, MarkHigh: capacity / 2}
 		netsim.Connect(src, dst, 10*units.Gbps, delay, q, q, rng.New(seed))
 
@@ -79,9 +78,8 @@ func TestPropertyNoDuplicateDelivery(t *testing.T) {
 	f := func(seed int64, sizeKB uint16) bool {
 		total := units.ByteSize(int(sizeKB)%300+10) * units.KB
 		e := sim.New()
-		var ids uint64
-		src := netsim.NewHost(1, "src", &ids)
-		dst := netsim.NewHost(2, "dst", &ids)
+		src := netsim.NewHost(1, "src")
+		dst := netsim.NewHost(2, "dst")
 		q := netsim.QueueConfig{Capacity: 9000} // brutal: 6 packets
 		netsim.Connect(src, dst, 10*units.Gbps, 5*units.Microsecond, q, q, rng.New(seed))
 		recv := NewReceiver(dst, 1, src.ID(), total, nil)

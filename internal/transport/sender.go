@@ -231,6 +231,15 @@ func (s *Sender) Done() bool { return s.done }
 // DoneAt returns when the flow completed (valid once Done).
 func (s *Sender) DoneAt() units.Time { return s.doneAt }
 
+// FCT returns the flow completion time — final ack minus Start — or 0 while
+// the flow is still running.
+func (s *Sender) FCT() units.Duration {
+	if !s.done {
+		return 0
+	}
+	return s.doneAt.Sub(s.startedAt)
+}
+
 // Cwnd returns the current congestion window in bytes.
 func (s *Sender) Cwnd() units.ByteSize { return units.ByteSize(s.cwnd) }
 

@@ -19,9 +19,8 @@ type pair struct {
 func newPair(t testing.TB, rate units.BitRate, delay units.Duration, q netsim.QueueConfig) *pair {
 	t.Helper()
 	e := sim.New()
-	var ids uint64
-	src := netsim.NewHost(1, "src", &ids)
-	dst := netsim.NewHost(2, "dst", &ids)
+	src := netsim.NewHost(1, "src")
+	dst := netsim.NewHost(2, "dst")
 	// Both directions get the same egress config; control packets ride
 	// the priority band regardless.
 	netsim.Connect(src, dst, rate, delay, q, q, rng.New(99))
@@ -58,6 +57,9 @@ func TestBasicTransferCompletes(t *testing.T) {
 	}
 	if snd.Stats.Retransmits != 0 || snd.Stats.Timeouts != 0 {
 		t.Fatalf("lossless path saw retx=%d timeouts=%d", snd.Stats.Retransmits, snd.Stats.Timeouts)
+	}
+	if fct := snd.FCT(); fct != snd.DoneAt().Sub(0) {
+		t.Fatalf("FCT = %v, want DoneAt-start = %v", fct, snd.DoneAt())
 	}
 }
 
@@ -241,9 +243,8 @@ func TestZeroByteFlowCompletesImmediately(t *testing.T) {
 
 func TestDuplicateDataReAcked(t *testing.T) {
 	e := sim.New()
-	var ids uint64
-	src := netsim.NewHost(1, "src", &ids)
-	dst := netsim.NewHost(2, "dst", &ids)
+	src := netsim.NewHost(1, "src")
+	dst := netsim.NewHost(2, "dst")
 	netsim.Connect(src, dst, 100*units.Gbps, 0, netsim.QueueConfig{}, netsim.QueueConfig{}, nil)
 	recv := NewReceiver(dst, 1, src.ID(), 0, nil)
 	dst.Bind(1, recv)
@@ -274,7 +275,7 @@ func TestDuplicateDataReAcked(t *testing.T) {
 
 func TestReceiverIgnoresNonData(t *testing.T) {
 	e := sim.New()
-	h := netsim.NewHost(1, "h", nil)
+	h := netsim.NewHost(1, "h")
 	recv := NewReceiver(h, 1, 2, 0, nil)
 	recv.Handle(e, &netsim.Packet{Kind: netsim.Ack, Flow: 1})
 	if recv.Stats.PktsReceived != 0 {

@@ -23,6 +23,7 @@ import (
 	"incastproxy/internal/proxy"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/sim"
+	"incastproxy/internal/stats"
 	"incastproxy/internal/topo"
 	"incastproxy/internal/transport"
 	"incastproxy/internal/units"
@@ -248,6 +249,10 @@ func runAdaptive(spec Spec, seed int64) (RunResult, error) {
 	var rehomedFlows, keptDirect int
 	var rehomedBytes units.ByteSize
 
+	// Flow completion times, receiver-side like the static paths: a flow is
+	// done when its last leg's receiver finishes, regardless of which path
+	// carried the suffix.
+	fcts := stats.NewBounded(fctReservoirCap, seed)
 	markDone := func(i int, at units.Time) {
 		if flowDone[i] {
 			return
@@ -257,6 +262,7 @@ func runAdaptive(spec Spec, seed int64) (RunResult, error) {
 		if at > lastDone {
 			lastDone = at
 		}
+		fcts.AddDuration(at.Sub(units.Time(spec.IncastDelay)))
 		ctrl.FlowFinished(units.Duration(at)-spec.IncastDelay, flows[i].viaProxy)
 		if completed == spec.Degree {
 			e.Stop()
@@ -489,6 +495,7 @@ func runAdaptive(spec Spec, seed int64) (RunResult, error) {
 	rr.RehomedFlows = rehomedFlows
 	rr.RehomedBytes = rehomedBytes
 	rr.KeptDirect = keptDirect
+	rr.FlowFCT = stats.SummarizeDurations(fcts)
 	rr.Manifest = ro.manifest(seed, spec.fingerprintString())
 	rr.Trace = ro.tracer
 

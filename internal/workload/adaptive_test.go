@@ -31,6 +31,9 @@ func TestAdaptiveQuietEpochStaysDirect(t *testing.T) {
 	if ad.FinalRoute != "direct" {
 		t.Fatalf("final route = %s, want direct", ad.FinalRoute)
 	}
+	if spec := quickSpec(SchemeAdaptive); ad.FlowFCT.N != spec.Degree || ad.FlowFCT.Max <= 0 || ad.FlowFCT.Max > ad.ICT {
+		t.Fatalf("adaptive FlowFCT not populated: %+v (degree %d, ICT %v)", ad.FlowFCT, spec.Degree, ad.ICT)
+	}
 	base := runOne(t, quickSpec(Baseline))
 	slack := 300 * units.Microsecond // pacing release + controller tick grain
 	if ad.ICT > base.ICT+slack {

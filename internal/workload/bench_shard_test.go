@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"testing"
+
+	"incastproxy/internal/units"
+)
+
+// Shard-scaling benchmark for the conservative-lookahead parallel engine
+// (make bench-json writes it to BENCH_sim_shard.json). The simulated work
+// is identical at every configuration — byte-identity across shard and
+// worker counts is a tested invariant — so events/sec isolates what the
+// engine itself costs: the single-engine baseline, the sharded runtime's
+// barrier-round overhead at one worker, and the scaling headroom extra
+// workers buy. On a single-core host the multi-worker rows cannot beat
+// wall clock (there is no second CPU to run the other shard); they then
+// measure the synchronization overhead alone, which is the honest number
+// to track there.
+func BenchmarkShardedIncast(b *testing.B) {
+	for _, tc := range []struct {
+		name            string
+		shards, workers int
+	}{
+		{"single-engine", 0, 0},
+		{"shards=1", 1, 1},
+		{"shards=2/workers=1", 2, 1},
+		{"shards=2/workers=2", 2, 2},
+		{"shards=4/workers=4", 4, 4},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := shardSpec(ProxyStreamlined)
+			spec.Topo.ServersPerLeaf = 16 // 32 hosts per DC
+			spec.Degree = 16
+			spec.TotalBytes = 16 * units.MB
+			spec.Shards = tc.shards
+			spec.ShardWorkers = tc.workers
+			spec.Obs = &ObsConfig{Disable: true}
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Runs[0].Events
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(events)/secs, "events/sec")
+			}
+		})
+	}
+}

@@ -96,6 +96,22 @@ type Spec struct {
 	// hook runs concurrently and must be goroutine-safe.
 	Parallel int
 
+	// Shards >= 1 runs each trial on a sharded parallel event engine
+	// (sim.ShardGroup): the fabric is partitioned per topo.PlanShards
+	// (each DC its own shard, backbones split further) and synchronized
+	// by a conservative-lookahead barrier over the long-haul link delay.
+	// Results are byte-identical for a given seed at every shard count
+	// and every ShardWorkers value; like Parallel, neither knob enters
+	// the config hash. Shards = 0 (the default) keeps the classic
+	// single-engine path. The sharded path supports every scheme except
+	// SchemeAdaptive, and rejects OnBuild hooks and Obs.Trace (both
+	// assume a single engine).
+	Shards int
+	// ShardWorkers bounds the goroutines running shard rounds; 0 means
+	// one per shard. Purely an execution knob: results never depend on
+	// it.
+	ShardWorkers int
+
 	// Topo overrides the fabric (zero value: the §4.1 default). The
 	// runner forces TrimDC[0] on for the streamlined scheme.
 	Topo topo.Config
@@ -216,6 +232,21 @@ func (s Spec) Validate() error {
 	case s.Degree+s.CrossTraffic.Flows > hostsPerDC-1:
 		return fmt.Errorf("workload: degree %d + %d cross-traffic flows exceed %d available hosts",
 			s.Degree, s.CrossTraffic.Flows, hostsPerDC-1)
+	case s.Shards < 0:
+		return fmt.Errorf("workload: Shards must be >= 0, got %d", s.Shards)
+	}
+	if s.Shards >= 1 {
+		switch {
+		case s.Scheme == SchemeAdaptive:
+			return fmt.Errorf("workload: SchemeAdaptive is not supported on the sharded engine (its controller assumes one engine)")
+		case s.OnBuild != nil:
+			return fmt.Errorf("workload: OnBuild hooks are not supported on the sharded engine")
+		case s.Obs != nil && s.Obs.Trace:
+			return fmt.Errorf("workload: tracing is not supported on the sharded engine")
+		}
+		if _, err := topo.PlanShards(s.Topo, s.Shards); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -243,6 +274,13 @@ type RunResult struct {
 	// ProxyFalseNacks counts inferring-proxy NACKs contradicted by late
 	// arrivals (reordering mistaken for loss; ProxyInferring only).
 	ProxyFalseNacks uint64
+
+	// FlowFCT summarizes the completion times of the incast's finished
+	// flows. It is computed through a bounded sample (stats.NewBounded,
+	// reservoir seeded from the run seed) so 10k-sender epochs summarize
+	// in constant memory; at degrees up to the reservoir capacity the
+	// percentiles are exact order statistics.
+	FlowFCT stats.DurationSummary
 
 	// Adaptive-scheme decision record (SchemeAdaptive only; zero
 	// otherwise). Steers lists the controller's executed re-steers,
@@ -310,6 +348,9 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 	if spec.Scheme == SchemeAdaptive {
 		return runAdaptive(spec, seed)
 	}
+	if spec.Shards >= 1 {
+		return runOnceSharded(spec, seed)
+	}
 	e := sim.New()
 	cfg := spec.Topo
 	cfg.Seed = seed
@@ -323,27 +364,11 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 	if spec.OnBuild != nil {
 		spec.OnBuild(net, e)
 	}
-	iwScale := spec.IWScale
-	if iwScale <= 0 {
-		iwScale = 1
-	}
-	scaleIW := func(bdp units.ByteSize) units.ByteSize {
-		return units.ByteSize(float64(bdp) * iwScale)
-	}
-	// The first RTT observed by a sender includes the queueing its own
-	// cohort inflicts: up to Degree initial windows draining through one
-	// bottleneck link. The initial RTO must exceed that, or timers fire
-	// spuriously before the first RTT sample arrives.
-	initRTO := func(rtt units.Duration, iw units.ByteSize) units.Duration {
-		return 3*rtt + cfg.LinkRate.TransmitTime(units.ByteSize(spec.Degree)*iw)
-	}
 
 	hostsDC0 := net.Hosts[0]
 	recv := net.Hosts[1][0]
 	proxyHost := hostsDC0[len(hostsDC0)-1]
-	senders := hostsDC0[:spec.Degree]
 
-	shares := splitBytes(spec.TotalBytes, spec.Degree)
 	src := rng.New(seed)
 
 	var txSenders []*transport.Sender
@@ -357,17 +382,79 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 
 	completedFlows := 0
 	var lastDone units.Time
+	fcts := stats.NewBounded(fctReservoirCap, seed)
 	onFlowDone := func(at units.Time) {
 		completedFlows++
 		if at > lastDone {
 			lastDone = at
 		}
+		// Receiver-side FCT: flows launch at IncastDelay, so completion
+		// minus launch is the flow's wall time. Measured here because
+		// the run stops the instant the last receiver finishes — the
+		// senders never see their final ACKs.
+		fcts.AddDuration(at.Sub(units.Time(spec.IncastDelay)))
 		if completedFlows == spec.Degree {
 			// All receivers finished: nothing left worth
 			// simulating (stray timers would only re-fire).
 			e.Stop()
 		}
 	}
+
+	inferGroup, err := buildFlows(e, net, spec, src, ro, recv, proxyHost,
+		onFlowDone, &txSenders, &rxs)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	if err := startCrossTraffic(e, net, spec, proxyHost, ro); err != nil {
+		return RunResult{}, err
+	}
+	injectProxyFaults(e, spec, proxyHost, seed, ro)
+
+	e.RunUntil(units.Time(spec.MaxSimTime))
+
+	rr := RunResult{
+		ICT:       units.Duration(lastDone),
+		Completed: completedFlows == spec.Degree,
+		Events:    e.Processed(),
+	}
+	collectRunStats(&rr, net, recv, proxyHost, txSenders, inferGroup, fcts)
+	rr.Manifest = ro.manifest(seed, spec.fingerprintString())
+	rr.Trace = ro.tracer
+
+	if !rr.Completed {
+		return rr, fmt.Errorf("incast incomplete after %v: %d/%d flows done",
+			spec.MaxSimTime, completedFlows, spec.Degree)
+	}
+	return rr, nil
+}
+
+// buildFlows constructs the incast flows of every non-adaptive scheme on
+// engine e (which must own the sending datacenter: senders and the proxy
+// host live there) and arranges their starts. It appends the created
+// senders and receivers to the slices the caller registered with the
+// observability layer, and returns the ProxyInferring group when that
+// scheme is selected.
+func buildFlows(e *sim.Engine, net *topo.Network, spec Spec, src *rng.Source,
+	ro *runObs, recv, proxyHost *netsim.Host, onFlowDone func(units.Time),
+	txSenders *[]*transport.Sender, rxs *[]*transport.Receiver) (*proxy.InferringGroup, error) {
+	iwScale := spec.IWScale
+	if iwScale <= 0 {
+		iwScale = 1
+	}
+	scaleIW := func(bdp units.ByteSize) units.ByteSize {
+		return units.ByteSize(float64(bdp) * iwScale)
+	}
+	// The first RTT observed by a sender includes the queueing its own
+	// cohort inflicts: up to Degree initial windows draining through one
+	// bottleneck link. The initial RTO must exceed that, or timers fire
+	// spuriously before the first RTT sample arrives.
+	initRTO := func(rtt units.Duration, iw units.ByteSize) units.Duration {
+		return 3*rtt + net.Cfg.LinkRate.TransmitTime(units.ByteSize(spec.Degree)*iw)
+	}
+
+	senders := net.Hosts[0][:spec.Degree]
+	shares := splitBytes(spec.TotalBytes, spec.Degree)
 
 	// start launches a sender at IncastDelay (immediately when zero).
 	start := func(s *transport.Sender) {
@@ -411,8 +498,8 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			s := transport.NewSender(snd, flow, recv.ID(), 0, share, c, nil)
 			s.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 			snd.Bind(flow, s)
-			txSenders = append(txSenders, s)
-			rxs = append(rxs, r)
+			*txSenders = append(*txSenders, s)
+			*rxs = append(*rxs, r)
 			start(s)
 
 		case ProxyStreamlined:
@@ -435,8 +522,8 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			s := transport.NewSender(snd, flow, proxyHost.ID(), recv.ID(), share, c, nil)
 			s.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 			snd.Bind(flow, s)
-			txSenders = append(txSenders, s)
-			rxs = append(rxs, r)
+			*txSenders = append(*txSenders, s)
+			*rxs = append(*rxs, r)
 			start(s)
 
 		case ProxyInferring:
@@ -456,8 +543,8 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			s := transport.NewSender(snd, flow, proxyHost.ID(), recv.ID(), share, c, nil)
 			s.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 			snd.Bind(flow, s)
-			txSenders = append(txSenders, s)
-			rxs = append(rxs, r)
+			*txSenders = append(*txSenders, s)
+			*rxs = append(*rxs, r)
 			start(s)
 
 		case ProxyNaive:
@@ -489,28 +576,28 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 			s := transport.NewSender(snd, flow, proxyHost.ID(), 0, share, upCfg, nil)
 			s.Attach(ro.tel, fmt.Sprintf("flow %d", flow))
 			snd.Bind(flow, s)
-			txSenders = append(txSenders, s)
-			rxs = append(rxs, r)
+			*txSenders = append(*txSenders, s)
+			*rxs = append(*rxs, r)
 			relay.Start(e)
 			start(s)
 
 		default:
-			return RunResult{}, fmt.Errorf("unknown scheme %v", spec.Scheme)
+			return nil, fmt.Errorf("unknown scheme %v", spec.Scheme)
 		}
 	}
+	return inferGroup, nil
+}
 
-	if err := startCrossTraffic(e, net, spec, proxyHost, ro); err != nil {
-		return RunResult{}, err
-	}
-	injectProxyFaults(e, spec, proxyHost, seed, ro)
+// fctReservoirCap bounds the per-run FCT sample: above this many flows the
+// percentile summary becomes a deterministic uniform-reservoir estimate.
+const fctReservoirCap = 4096
 
-	e.RunUntil(units.Time(spec.MaxSimTime))
-
-	rr := RunResult{
-		ICT:       units.Duration(lastDone),
-		Completed: completedFlows == spec.Degree,
-		Events:    e.Processed(),
-	}
+// collectRunStats fills rr's sender aggregates, bottleneck telemetry, the
+// FlowFCT summary (from the run's bounded per-flow sample), and
+// inferring-proxy error counters from the finished run's objects. Shared by
+// the single-engine and sharded paths so both report identically.
+func collectRunStats(rr *RunResult, net *topo.Network, recv, proxyHost *netsim.Host,
+	txSenders []*transport.Sender, inferGroup *proxy.InferringGroup, fcts *stats.Sample) {
 	for _, s := range txSenders {
 		rr.Timeouts += s.Stats.Timeouts
 		rr.Retransmits += s.Stats.Retransmits
@@ -518,6 +605,7 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 		rr.MarkedAcks += s.Stats.MarkedAcks
 		rr.PktsSent += s.Stats.PktsSent
 	}
+	rr.FlowFCT = stats.SummarizeDurations(fcts)
 	rst := net.DownToRPort(recv).Stats()
 	pst := net.DownToRPort(proxyHost).Stats()
 	rr.ReceiverToRMaxQueue = rst.MaxBytes
@@ -528,14 +616,6 @@ func runOnce(spec Spec, seed int64) (RunResult, error) {
 	if inferGroup != nil {
 		rr.ProxyFalseNacks = inferGroup.Stats.FalseNacks
 	}
-	rr.Manifest = ro.manifest(seed, spec.fingerprintString())
-	rr.Trace = ro.tracer
-
-	if !rr.Completed {
-		return rr, fmt.Errorf("incast incomplete after %v: %d/%d flows done",
-			spec.MaxSimTime, completedFlows, spec.Degree)
-	}
-	return rr, nil
 }
 
 // splitBytes divides total equally among n flows, spreading the remainder

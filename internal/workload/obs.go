@@ -78,6 +78,20 @@ func (ro *runObs) wire(e *sim.Engine, net *topo.Network,
 	transport.InstrumentReceivers(ro.reg, receivers)
 }
 
+// wireSharded is wire for the sharded runtime: the shard group (rather than
+// one engine) exports the sim_* series. Every value the group exports is a
+// pure function of the simulation content — not of the partition — so
+// manifests stay byte-identical across shard and worker counts.
+func (ro *runObs) wireSharded(g *sim.ShardGroup, net *topo.Network,
+	senders *[]*transport.Sender, receivers *[]*transport.Receiver) {
+	g.Instrument(ro.reg)
+	net.Instrument(ro.reg)
+	net.SetTracer(ro.tracer)
+	ro.tel = transport.NewTelemetry(ro.reg, ro.tracer)
+	transport.InstrumentSenders(ro.reg, senders)
+	transport.InstrumentReceivers(ro.reg, receivers)
+}
+
 // watchPorts exports the named ports' per-port queue counters and, when
 // tracing, starts a periodic occupancy sampler on each (counter tracks named
 // "queue <name>"). until bounds the sampler in virtual time.
@@ -122,15 +136,18 @@ func (ro *runObs) manifest(seed int64, config string) *obs.Manifest {
 // observability fields are excluded (funcs print as nondeterministic
 // pointers, and turning tracing on must not change the config identity), as
 // is the seed: it rides separately on Manifest.Seed, so runs of one
-// configuration share a hash across seeds. Parallel is excluded too: how
-// many workers executed the trials is an execution detail, and serial and
-// parallel runs of one spec must produce byte-identical manifests.
+// configuration share a hash across seeds. Parallel, Shards, and
+// ShardWorkers are excluded too: how many workers or event shards executed
+// the trials is an execution detail, and serial, parallel, and sharded runs
+// of one spec must produce byte-identical manifests.
 func (s Spec) fingerprintString() string {
 	s.OnBuild = nil
 	s.ProxyProcDelay = nil
 	s.Obs = nil
 	s.Seed = 0
 	s.Parallel = 0
+	s.Shards = 0
+	s.ShardWorkers = 0
 	return fmt.Sprintf("%+v", s)
 }
 
@@ -141,5 +158,7 @@ func (spec ChaosSpec) fingerprintString() string {
 	spec.Incast.Obs = nil
 	spec.Incast.Seed = 0
 	spec.Incast.Parallel = 0
+	spec.Incast.Shards = 0
+	spec.Incast.ShardWorkers = 0
 	return fmt.Sprintf("%+v", spec)
 }

@@ -1,0 +1,111 @@
+package workload
+
+// The sharded incast path: one trial on a conservative-lookahead parallel
+// engine (sim.ShardGroup) instead of a single event loop. The fabric is
+// partitioned per topo.PlanShards — each datacenter is a shard, backbone
+// routers split further — and the long-haul propagation delay is the
+// lookahead. Everything the incast touches lives cleanly on one side:
+// senders, the proxy host, cross traffic, and fault injection are all in
+// DC0; the receiver is in DC1. Only packets cross, through the group's
+// deterministic handoff queues, so a run's results are byte-identical to a
+// single-shard run of the same seed at every shard count and worker count.
+
+import (
+	"fmt"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/rng"
+	"incastproxy/internal/stats"
+	"incastproxy/internal/topo"
+	"incastproxy/internal/transport"
+	"incastproxy/internal/units"
+)
+
+// runOnceSharded builds a fresh sharded fabric and simulates one incast.
+func runOnceSharded(spec Spec, seed int64) (RunResult, error) {
+	cfg := spec.Topo
+	cfg.Seed = seed
+	if spec.Scheme == ProxyStreamlined {
+		cfg.TrimDC[0] = true
+	}
+	if spec.TrimReceiverDC {
+		cfg.TrimDC[1] = true
+	}
+	plan, err := topo.PlanShards(cfg, spec.Shards)
+	if err != nil {
+		return RunResult{}, err
+	}
+	g := plan.NewGroup(spec.ShardWorkers)
+	// eDC0 owns the sending datacenter: every sender, the proxy host,
+	// cross traffic, and fault injection schedule here. The receiver's
+	// events run on DC1's shard, reached only by packets.
+	eDC0 := g.Engine(plan.DCShard(0))
+	net := topo.Build(eDC0, cfg)
+	topo.BindShards(net, g, plan)
+
+	hostsDC0 := net.Hosts[0]
+	recv := net.Hosts[1][0]
+	proxyHost := hostsDC0[len(hostsDC0)-1]
+
+	src := rng.New(seed)
+
+	var txSenders []*transport.Sender
+	var rxs []*transport.Receiver
+	ro := newRunObs(spec.Obs)
+	ro.wireSharded(g, net, &txSenders, &rxs)
+	ro.watchPorts(eDC0, units.Time(spec.MaxSimTime), map[string]*netsim.Port{
+		"recv-tor":  net.DownToRPort(recv),
+		"proxy-tor": net.DownToRPort(proxyHost),
+	})
+
+	// completedFlows and lastDone are receiver-side state: only DC1's
+	// shard touches them during the run, and the stop request crosses
+	// shards atomically. The barrier publishes them before we read them
+	// back on this goroutine.
+	completedFlows := 0
+	var lastDone units.Time
+	fcts := stats.NewBounded(fctReservoirCap, seed)
+	onFlowDone := func(at units.Time) {
+		completedFlows++
+		if at > lastDone {
+			lastDone = at
+		}
+		// Receiver-side FCT, as in runOnce. Receivers finish in
+		// deterministic event order, so the bounded reservoir sees the
+		// same observation sequence at every shard and worker count.
+		fcts.AddDuration(at.Sub(units.Time(spec.IncastDelay)))
+		if completedFlows == spec.Degree {
+			// Unlike Engine.Stop, a group stop is quantized to the
+			// barrier round — which keeps the stop point identical
+			// at every shard and worker count.
+			g.RequestStop()
+		}
+	}
+
+	inferGroup, err := buildFlows(eDC0, net, spec, src, ro, recv, proxyHost,
+		onFlowDone, &txSenders, &rxs)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	if err := startCrossTraffic(eDC0, net, spec, proxyHost, ro); err != nil {
+		return RunResult{}, err
+	}
+	injectProxyFaults(eDC0, spec, proxyHost, seed, ro)
+
+	g.RunUntil(units.Time(spec.MaxSimTime))
+
+	rr := RunResult{
+		ICT:       units.Duration(lastDone),
+		Completed: completedFlows == spec.Degree,
+		Events:    g.Processed(),
+	}
+	collectRunStats(&rr, net, recv, proxyHost, txSenders, inferGroup, fcts)
+	rr.Manifest = ro.manifest(seed, spec.fingerprintString())
+
+	if !rr.Completed {
+		return rr, fmt.Errorf("incast incomplete after %v: %d/%d flows done",
+			spec.MaxSimTime, completedFlows, spec.Degree)
+	}
+	return rr, nil
+}
