@@ -34,7 +34,7 @@ lint-json:
 # are picked up without editing a name list here. The root package's
 # benchmarks are whole-simulation figure sweeps, so its iteration count
 # stays capped at one pass per benchmark.
-BENCH_PKGS = ./internal/obs/ ./internal/sim/ ./internal/control/ ./internal/transport/ ./internal/wire/ ./internal/hoststack/
+BENCH_PKGS = ./internal/obs/ ./internal/sim/ ./internal/control/ ./internal/transport/ ./internal/wire/ ./internal/hoststack/ ./internal/model/
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
@@ -50,12 +50,18 @@ bench:
 # at shards 1/2/4 x worker counts vs the single-engine baseline); on a
 # single-core host the multi-worker rows measure synchronization overhead,
 # not speedup — see the benchmark's comment.
+# BENCH_model.json records the analytical fast path: the internal/model
+# micro-benchmarks (Predict/Compare/FromSpec) plus the 1002-cell fast sweep
+# beside the six-cell DES degree sweep, so the model-vs-simulator speedup is
+# pinned in one file.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json $(BENCH_PKGS) > BENCH_control.json
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json . >> BENCH_control.json
 	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/relay/ > BENCH_relay.json
 	$(GO) test -run '^$$' -bench 'Tracer|Span|WindowQuantile|Counter|Gauge|Histogram|Snapshot' -benchmem -json ./internal/obs/ > BENCH_obs.json
 	$(GO) test -run '^$$' -bench ShardedIncast -benchtime 3x -benchmem -json ./internal/workload/ > BENCH_sim_shard.json
+	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/model/ > BENCH_model.json
+	$(GO) test -run '^$$' -bench 'FastSweep1000Cells|Fig2LeftDegreeSweep' -benchtime 1x -benchmem -json . >> BENCH_model.json
 
 # The worker pool and everything routed through it must be race-clean; the
 # full suite runs under the detector (chaos, relay, and lan tests exercise

@@ -72,6 +72,35 @@ func BenchmarkFig3LatencySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFastSweep1000Cells prices the analytical fast path at sweep
+// scale: a 1002-cell Figure 2 (Right) grid (334 sizes x 3 schemes) evaluated
+// entirely by the model, serially. Contrast with BenchmarkFig2LeftDegreeSweep,
+// whose six DES cells cost seconds each — `make bench-json` records both in
+// BENCH_model.json, and that ratio is the fast path's reason to exist.
+func BenchmarkFastSweep1000Cells(b *testing.B) {
+	sizes := make([]ByteSize, 0, 334)
+	for i := 1; i <= 334; i++ {
+		sizes = append(sizes, ByteSize(i)*MB)
+	}
+	cfg := SweepConfig{
+		Sizes:           sizes,
+		Fig2RightDegree: 8,
+		Runs:            1,
+		Seed:            7,
+		Parallel:        1,
+		Fast:            true,
+	}
+	var cells int
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure2Right(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(pts)
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
 // BenchmarkFig1BottleneckShift measures the Figure 1 telemetry run: where
 // the hot queue sits under baseline vs streamlined.
 func BenchmarkFig1BottleneckShift(b *testing.B) {

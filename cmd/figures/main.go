@@ -9,6 +9,8 @@
 //	figures -full           # paper-scale parameters (slow: many minutes)
 //	figures -summary        # only the §4.2 mean-reduction summary lines
 //	figures -parallel 4     # fan sweep cells over 4 workers; same bytes out
+//	figures -fast           # sweep tables from the analytical model (microseconds)
+//	figures -fig modelerr   # sim-vs-model prediction-error table (runs the DES)
 package main
 
 import (
@@ -22,8 +24,9 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "1 | 2l | 2r | 3 | 4 | 5a | 5b | adaptive | detect | all")
+		fig      = flag.String("fig", "all", "1 | 2l | 2r | 3 | 4 | 5a | 5b | adaptive | detect | modelerr | all")
 		full     = flag.Bool("full", false, "paper-scale parameters (5 runs, 100MB, 6 latencies)")
+		fast     = flag.Bool("fast", false, "evaluate sweep cells with the analytical model instead of the simulator (figs 2l/2r/3 only; see -fig modelerr for its error bounds)")
 		summary  = flag.Bool("summary", false, "print only §4.2-style mean reductions")
 		packets  = flag.Int("packets", 200_000, "samples for the CDF figures")
 		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial); output is byte-identical at any setting")
@@ -46,7 +49,27 @@ func main() {
 		sweep.Policy = cc
 	}
 
-	runFig := func(name string) bool { return *fig == "all" || *fig == name }
+	sweep.Fast = *fast
+	if *fast {
+		switch *fig {
+		case "all", "2l", "2r", "3":
+		default:
+			fatal(fmt.Errorf("-fast only covers the sweep figures (-fig 2l|2r|3); figure %q needs the packet-level simulator", *fig))
+		}
+	}
+
+	runFig := func(name string) bool {
+		if *fig == "all" {
+			if *fast {
+				// A fast "all" is the model's domain: the three sweep figures.
+				return name == "2l" || name == "2r" || name == "3"
+			}
+			// modelerr re-runs the whole DES grid; only print it when
+			// asked for by name.
+			return name != "modelerr"
+		}
+		return *fig == name
+	}
 	out := os.Stdout
 
 	if runFig("1") {
@@ -96,6 +119,18 @@ func main() {
 		fmt.Fprintf(out, "Adaptive mean reductions: static=%.2f%% adaptive=%.2f%%\n\n",
 			incastproxy.MeanReduction(pts, incastproxy.ProxyStreamlined)*100,
 			incastproxy.MeanReduction(pts, incastproxy.SchemeAdaptive)*100)
+	}
+	if runFig("modelerr") {
+		pts, err := incastproxy.FigureModelError(sweep)
+		if err != nil {
+			fatal(err)
+		}
+		if !*summary {
+			incastproxy.WriteModelErrorTable(out,
+				"Sim vs analytical model: per-cell prediction error over the sweep grid", pts)
+		}
+		fmt.Fprintf(out, "Model error: worst |ICT| deviation %.1f%% across %d cells\n\n",
+			incastproxy.MaxAbsModelError(pts)*100, len(pts))
 	}
 	if runFig("detect") && !*summary {
 		pts, err := incastproxy.FigureDetectLatency(sweep)

@@ -7,6 +7,7 @@
 //	incastsim -scheme baseline -degree 4 -size 40MB -inter-latency 10ms
 //	incastsim -scheme adaptive -policy onset-depth=4MB,max-switches=1
 //	incastsim -runs 8 -parallel 0     # fan runs across every CPU; same output
+//	incastsim -estimate               # print the analytical model's prediction beside each run
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	incastproxy "incastproxy"
 	"incastproxy/internal/cliutil"
 	"incastproxy/internal/control"
+	"incastproxy/internal/model"
 	"incastproxy/internal/runner"
 	"incastproxy/internal/sim"
 	"incastproxy/internal/topo"
@@ -44,6 +46,7 @@ func main() {
 		shardWork   = flag.Int("shard-workers", 0, "goroutines driving the event shards (0 = one per shard); requires -shards")
 		leaves      = flag.Int("leaves", 0, "override leaf switches per DC (0 = default topology)")
 		servers     = flag.Int("servers-per-leaf", 0, "override servers per leaf (0 = default topology); raise with -leaves for 10k-sender epochs")
+		estimate    = flag.Bool("estimate", false, "print the analytical model's prediction (internal/model) beside each scheme's simulated result, with per-metric relative error")
 	)
 	flag.Parse()
 
@@ -135,6 +138,9 @@ func main() {
 			fmt.Printf("  route=%s onsets=%d rehomed(flows=%d bytes=%v) kept-direct=%d steers=%v\n",
 				rr.FinalRoute, rr.Onsets, rr.RehomedFlows, rr.RehomedBytes, rr.KeptDirect, rr.Steers)
 		}
+		if *estimate {
+			printEstimate(s, spec, res)
+		}
 		if *manifest && rr.Manifest != nil {
 			fmt.Printf("  %s\n", rr.Manifest)
 		}
@@ -176,6 +182,47 @@ func main() {
 		}
 		fmt.Printf("queue time series written to %s\n", *queueCSV)
 	}
+}
+
+// printEstimate prints the analytical model's prediction for the spec the
+// simulator just ran, with each metric's signed relative error against the
+// measurement. Adaptive runs re-steer mid-epoch, which the model does not
+// cover; for them it prints the two candidate-path predictions the
+// controller chooses between instead.
+func printEstimate(s incastproxy.Scheme, spec incastproxy.IncastSpec, res *incastproxy.IncastResult) {
+	if s == incastproxy.SchemeAdaptive {
+		base := spec
+		base.Scheme = incastproxy.Baseline
+		prm, err := model.FromSpec(base)
+		if err != nil {
+			fmt.Printf("  model: %v\n", err)
+			return
+		}
+		d, p := model.Compare(prm)
+		fmt.Printf("  model: adaptive is not modeled; candidate paths direct=%v proxied=%v (sim picked %v)\n",
+			d.ICT, p.ICT, res.ICT.Avg())
+		return
+	}
+	prm, err := model.FromSpec(spec)
+	if err != nil {
+		fmt.Printf("  model: %v\n", err)
+		return
+	}
+	pred := model.Predict(prm)
+	rr := res.Runs[0]
+	fmt.Printf("  model[%s] ict=%v (%+.1f%%)  p50=%v (%+.1f%%)  p99=%v (%+.1f%%)  goodput=%v\n",
+		pred.Regime, pred.ICT, relPct(res.ICT.Avg(), pred.ICT),
+		pred.P50, relPct(rr.FlowFCT.P50, pred.P50),
+		pred.P99, relPct(rr.FlowFCT.P99, pred.P99), pred.Goodput)
+}
+
+// relPct is the signed relative error of a prediction in percent; negative
+// means the model under-predicts the simulator.
+func relPct(sim, mod incastproxy.Duration) float64 {
+	if sim == 0 {
+		return 0
+	}
+	return 100 * (float64(mod) - float64(sim)) / float64(sim)
 }
 
 func parseSchemes(s string) ([]incastproxy.Scheme, error) {

@@ -7,6 +7,7 @@ import (
 
 	"incastproxy/internal/control"
 	"incastproxy/internal/hoststack"
+	"incastproxy/internal/model"
 	"incastproxy/internal/obs"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/runner"
@@ -83,6 +84,14 @@ type SweepConfig struct {
 	// any setting. Adaptive cells ignore it — their controller assumes
 	// one engine — so mixed sweeps stay valid.
 	Shards int
+
+	// Fast evaluates every cell with the analytical model (internal/model)
+	// instead of the packet-level simulator: microseconds per cell instead
+	// of seconds, at the model's validated error bounds (see `figures -fig
+	// modelerr` for the sim-vs-model table). Fast cells have no run-to-run
+	// spread (Min == Avg == Max), no config hash, and cannot evaluate
+	// SchemeAdaptive — a fast sweep that includes it fails loudly.
+	Fast bool
 }
 
 // PaperSweep returns §4's settings: 100 MB totals, degree 4 for the size
@@ -124,9 +133,9 @@ func QuickSweep() SweepConfig {
 	}
 }
 
-// Figure2Left regenerates the degree sweep: fixed total size, varying the
-// number of senders, all three schemes.
-func Figure2Left(cfg SweepConfig) ([]FigurePoint, error) {
+// fig2LeftPoints builds the degree axis's sweep points; shared by the
+// figure sweep and the sim-vs-model error table (modelerr.go).
+func fig2LeftPoints(cfg SweepConfig) []sweepPoint {
 	points := make([]sweepPoint, 0, len(cfg.Degrees))
 	for _, deg := range cfg.Degrees {
 		deg := deg
@@ -139,12 +148,17 @@ func Figure2Left(cfg SweepConfig) ([]FigurePoint, error) {
 			},
 		})
 	}
-	return runSweep(cfg, points)
+	return points
 }
 
-// Figure2Right regenerates the size sweep: fixed degree, varying total
-// incast size.
-func Figure2Right(cfg SweepConfig) ([]FigurePoint, error) {
+// Figure2Left regenerates the degree sweep: fixed total size, varying the
+// number of senders, all three schemes.
+func Figure2Left(cfg SweepConfig) ([]FigurePoint, error) {
+	return runSweep(cfg, fig2LeftPoints(cfg))
+}
+
+// fig2RightPoints builds the size axis's sweep points.
+func fig2RightPoints(cfg SweepConfig) []sweepPoint {
 	points := make([]sweepPoint, 0, len(cfg.Sizes))
 	for _, size := range cfg.Sizes {
 		size := size
@@ -157,12 +171,17 @@ func Figure2Right(cfg SweepConfig) ([]FigurePoint, error) {
 			},
 		})
 	}
-	return runSweep(cfg, points)
+	return points
 }
 
-// Figure3 regenerates the latency-gap sweep: fixed degree and size,
-// varying the long-haul link latency (log-log in the paper).
-func Figure3(cfg SweepConfig) ([]FigurePoint, error) {
+// Figure2Right regenerates the size sweep: fixed degree, varying total
+// incast size.
+func Figure2Right(cfg SweepConfig) ([]FigurePoint, error) {
+	return runSweep(cfg, fig2RightPoints(cfg))
+}
+
+// fig3Points builds the latency axis's sweep points.
+func fig3Points(cfg SweepConfig) []sweepPoint {
 	points := make([]sweepPoint, 0, len(cfg.Latencies))
 	for _, lat := range cfg.Latencies {
 		lat := lat
@@ -178,7 +197,13 @@ func Figure3(cfg SweepConfig) ([]FigurePoint, error) {
 			},
 		})
 	}
-	return runSweep(cfg, points)
+	return points
+}
+
+// Figure3 regenerates the latency-gap sweep: fixed degree and size,
+// varying the long-haul link latency (log-log in the paper).
+func Figure3(cfg SweepConfig) ([]FigurePoint, error) {
+	return runSweep(cfg, fig3Points(cfg))
 }
 
 // FigureAdaptive compares the adaptive control plane against both static
@@ -362,6 +387,24 @@ func runSweepSchemes(cfg SweepConfig, points []sweepPoint, schemes []Scheme) ([]
 			sp.Shards = cfg.Shards
 		}
 		pt.customize(&sp)
+		if cfg.Fast {
+			prm, err := model.FromSpec(sp)
+			if err != nil {
+				return FigurePoint{}, fmt.Errorf("%s %v (fast): %w", pt.label, s, err)
+			}
+			pred := model.Predict(prm)
+			// One closed-form number per cell: no run-to-run spread, no
+			// manifest to hash.
+			return FigurePoint{
+				Label:  pt.label,
+				X:      pt.x,
+				Scheme: s,
+				Avg:    pred.ICT,
+				Min:    pred.ICT,
+				Max:    pred.ICT,
+				Seed:   sp.Seed,
+			}, nil
+		}
 		res, err := workload.Run(sp)
 		if err != nil {
 			return FigurePoint{}, fmt.Errorf("%s %v: %w", pt.label, s, err)

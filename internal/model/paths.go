@@ -1,0 +1,86 @@
+package model
+
+import (
+	"fmt"
+
+	"incastproxy/internal/netsim"
+	"incastproxy/internal/topo"
+	"incastproxy/internal/transport"
+	"incastproxy/internal/units"
+	"incastproxy/internal/workload"
+)
+
+// PathRTTs derives the model's three base RTTs analytically from a fabric
+// configuration, without building the fabric: per traversed link the cost is
+// 2*propagation + serialization of a full data packet forward and a control
+// packet back — exactly topo.Network.PathRTT's sum, so the analytic values
+// match the built fabric's to the picosecond (pinned by tests).
+//
+//   - direct: sender -> receiver across DCs (4 intra + 2 inter links:
+//     host-leaf, leaf-spine, spine-backbone, and the mirrored descent);
+//   - up: sender -> proxy inside the sending DC (4 intra links, or 2 when a
+//     single-leaf DC puts them under the same ToR);
+//   - down: proxy -> receiver across DCs (4 intra + 2 inter, like direct).
+func PathRTTs(cfg topo.Config, mss units.ByteSize) (direct, up, down units.Duration) {
+	perLink := cfg.LinkRate.TransmitTime(mss) + cfg.LinkRate.TransmitTime(netsim.ControlSize)
+	link := func(intra, inter int) units.Duration {
+		n := intra + inter
+		return 2*(units.Duration(intra)*cfg.IntraDelay+units.Duration(inter)*cfg.InterDelay) +
+			units.Duration(n)*perLink
+	}
+	upIntra := 4
+	if cfg.Leaves == 1 {
+		// Single-leaf DC: the first sender and the proxy (the DC's last
+		// host) share a ToR; the path is host-leaf-host.
+		upIntra = 2
+	}
+	return link(4, 2), link(upIntra, 0), link(4, 2)
+}
+
+// FromSpec maps a full simulation spec onto the model's parameter set,
+// deriving path RTTs, window sizing, and buffer depth from the spec's
+// topology the same way the workload harness does when it builds flows. The
+// returned Params predict the spec's first run; run-to-run spray noise is
+// what the DES's repeated seeds measure and the model cannot.
+//
+// SchemeAdaptive is rejected — the controller re-steers mid-epoch, which no
+// single closed form covers; evaluate its two candidate outcomes with
+// Compare instead.
+func FromSpec(spec workload.Spec) (Params, error) {
+	if spec.Scheme == workload.SchemeAdaptive {
+		return Params{}, fmt.Errorf("model: SchemeAdaptive is not modeled (it re-steers mid-epoch); use Compare on its candidate paths")
+	}
+	if err := spec.Validate(); err != nil {
+		return Params{}, err
+	}
+	cfg := spec.Topo
+	if cfg.Spines == 0 {
+		cfg = topo.DefaultConfig()
+	}
+	if cfg.Backbones == 0 {
+		return Params{}, fmt.Errorf("model: topology has no inter-DC backbone; every scheme needs the long-haul path")
+	}
+	mss := spec.MSS
+	if mss <= 0 {
+		mss = transport.DefaultMSS
+	}
+	direct, up, down := PathRTTs(cfg, mss)
+	p := Params{
+		Scheme:       spec.Scheme,
+		Degree:       spec.Degree,
+		TotalBytes:   spec.TotalBytes,
+		DirectRTT:    direct,
+		ProxyUpRTT:   up,
+		ProxyDownRTT: down,
+		Rate:         cfg.LinkRate,
+		Buffer:       cfg.TorQueue.Capacity,
+		FanIn:        cfg.Spines,
+		MSS:          mss,
+		IWScale:      spec.IWScale,
+		IncastDelay:  spec.IncastDelay,
+	}
+	if spec.CrossTraffic.Flows > 0 {
+		p.CrossBytes = units.ByteSize(spec.CrossTraffic.Flows) * spec.CrossTraffic.Bytes
+	}
+	return p, nil
+}

@@ -41,6 +41,7 @@ func TestVirtualTimePragmaCoverage(t *testing.T) {
 		"incastproxy/internal/chaosnet":  true,
 		"incastproxy/internal/wire":      true,
 		"incastproxy/internal/obs":       true,
+		"incastproxy/internal/model":     true,
 	}
 	pkgs, err := lint.LoadModule("../..")
 	if err != nil {

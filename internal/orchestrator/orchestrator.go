@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"incastproxy/internal/model"
 	"incastproxy/internal/obs"
 	"incastproxy/internal/rng"
 	"incastproxy/internal/units"
@@ -349,28 +350,33 @@ func schemeOf(req Request) workload.Scheme {
 	return workload.ProxyStreamlined
 }
 
-// PredictICT is a coarse closed-form model of incast completion time used
-// for documentation and sanity checks (the simulator is the ground truth).
-// It captures the paper's mechanism: the baseline pays retransmission
-// timeouts and slow, RTT-paced recovery for every byte lost in the first
-// burst, while a proxy keeps the bottleneck busy and pays only the relay
-// path's one-way delay.
-func PredictICT(scheme workload.Scheme, req Request) units.Duration {
-	ideal := req.Rate.TransmitTime(req.Bytes) + req.InterRTT/2
+// modelParams maps a routing Request onto the analytical model's parameter
+// set: the direct path is the sender->receiver long haul, the proxy up-leg
+// the sender->proxy loop, and the relay's down leg rides the same long-haul
+// path the direct route uses. Zero Rate/Buffer fields fall back to the §4.1
+// fabric defaults inside the model, matching the simulator's spec defaults.
+func modelParams(scheme workload.Scheme, req Request) model.Params {
 	if scheme != workload.Baseline {
-		return ideal + req.IntraRTT
+		scheme = schemeOf(req)
 	}
-	lost := firstRTTOverflow(req)
-	if lost <= 0 {
-		return ideal
+	return model.Params{
+		Scheme:       scheme,
+		Degree:       req.Degree,
+		TotalBytes:   req.Bytes,
+		DirectRTT:    req.InterRTT,
+		ProxyUpRTT:   req.IntraRTT,
+		ProxyDownRTT: req.InterRTT,
+		Rate:         req.Rate,
+		Buffer:       req.BufferBytes,
 	}
-	// One initial-RTO stall (~3 RTT), then window rebuilds from one
-	// MSS: recovering L bytes at AI pace costs roughly sqrt(L/MSS) RTTs;
-	// cap the estimate at serial retransmission.
-	rto := 3 * req.InterRTT
-	rounds := isqrt(int64(lost) / 1500)
-	recovery := units.Duration(rounds) * req.InterRTT
-	return ideal + rto + recovery
+}
+
+// PredictICT estimates one routing's incast completion time by delegating to
+// the calibrated analytical model (internal/model) — the same closed form
+// the fast figure sweeps use and the validation tests pin against the
+// packet-level simulator per regime.
+func PredictICT(scheme workload.Scheme, req Request) units.Duration {
+	return model.PredictICT(modelParams(scheme, req))
 }
 
 // firstRTTOverflow estimates the bytes a first-RTT burst loses at the
@@ -388,16 +394,4 @@ func firstRTTOverflow(req Request) units.ByteSize {
 	}
 	queued := firstRTT * units.ByteSize(req.Degree-1) / units.ByteSize(req.Degree)
 	return queued - req.BufferBytes
-}
-
-func isqrt(v int64) int64 {
-	if v <= 0 {
-		return 0
-	}
-	x := v
-	for y := (x + 1) / 2; y < x; {
-		x = y
-		y = (x + v/x) / 2
-	}
-	return x
 }

@@ -200,12 +200,3 @@ func TestPredictICTOrdering(t *testing.T) {
 		t.Fatal("model: tiny incast should not favor the proxy")
 	}
 }
-
-func TestIsqrt(t *testing.T) {
-	cases := map[int64]int64{0: 0, 1: 1, 4: 2, 15: 3, 16: 4, 1000000: 1000}
-	for in, want := range cases {
-		if got := isqrt(in); got != want {
-			t.Fatalf("isqrt(%d) = %d, want %d", in, got, want)
-		}
-	}
-}

@@ -11,7 +11,7 @@ import (
 	"fmt"
 
 	"incastproxy/internal/control"
-	"incastproxy/internal/workload"
+	"incastproxy/internal/model"
 )
 
 // Policy answers incast routing questions.
@@ -116,17 +116,26 @@ func (p *AdaptivePolicy) Decide(req Request) (Decision, error) {
 			Reason: fmt.Sprintf("proxy shedding load (busy rate %.2f >= %.2f)",
 				p.proxy.BusyRate(), p.cfg.ProbeLoss)}, nil
 	}
-	eff := req
-	eff.InterRTT += p.direct.Excess()
-	eff.IntraRTT += p.proxy.Excess()
-	direct := PredictICT(workload.Baseline, eff)
-	proxied := PredictICT(schemeOf(eff), eff)
-	if float64(direct) <= float64(proxied)*p.cfg.Hysteresis {
+	// Steer off the analytical model's two-path comparison, folding the
+	// estimators' measured queueing excess and loss into the prediction:
+	// excess inflates the matching path's RTT, loss stretches its service.
+	prm := modelParams(schemeOf(req), req)
+	prm.DirectExcess = p.direct.Excess()
+	prm.ProxyExcess = p.proxy.Excess()
+	prm.DirectLoss = p.direct.LossRate()
+	prm.ProxyLoss = p.proxy.LossRate()
+	direct, proxied := model.Compare(prm)
+	if float64(direct.ICT) <= float64(proxied.ICT)*p.cfg.Hysteresis {
 		p.o.noteDirect()
 		return Decision{UseProxy: false,
 			Reason: fmt.Sprintf("predicted direct ICT %v within hysteresis %.2gx of proxied %v",
-				direct, p.cfg.Hysteresis, proxied)}, nil
+				direct.ICT, p.cfg.Hysteresis, proxied.ICT)}, nil
 	}
+	// The static selector re-checks WorthProxying; hand it the measured
+	// path state the same way, as RTT inflation.
+	eff := req
+	eff.InterRTT += p.direct.Excess()
+	eff.IntraRTT += p.proxy.Excess()
 	return p.o.Decide(eff)
 }
 

@@ -58,10 +58,13 @@ type Config struct {
 // normal ToR queue oscillation fire spurious timeouts. Schemes that want
 // the §5 "microsecond-level timeout" behaviour set MinRTO explicitly.
 const (
-	DefaultMSS    units.ByteSize = 1500
-	defaultGain                  = 1.0 / 16
-	defaultMinRTO                = units.Millisecond
-	defaultMaxRTO                = 5 * units.Second
+	DefaultMSS units.ByteSize = 1500
+	// DefaultMinRTO is the RTO floor applied when Config.MinRTO is zero;
+	// exported so the analytical model (internal/model) prices timeout
+	// stalls with the same floor the simulated senders pay.
+	DefaultMinRTO = units.Millisecond
+	defaultGain   = 1.0 / 16
+	defaultMaxRTO = 5 * units.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -84,7 +87,7 @@ func (c Config) withDefaults() Config {
 		c.InitRTO = 3 * c.ExpectedRTT
 	}
 	if c.MinRTO <= 0 {
-		c.MinRTO = defaultMinRTO
+		c.MinRTO = DefaultMinRTO
 	}
 	if c.MaxRTO <= 0 {
 		c.MaxRTO = defaultMaxRTO
